@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ablation: kernel-execution asynchrony (Section III-C1).
+ *
+ * With asynchrony on, the host generates batch i+1's script while the
+ * device executes batch i, so wall time per batch approaches
+ * max(cpu, gpu) instead of cpu + gpu. The benefit is largest where
+ * the two are balanced (mid/large batch sizes on Tree-LSTM).
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int
+main()
+{
+    benchx::AppRig rig("Tree-LSTM");
+
+    common::Table table({"batch", "sync (inputs/s)",
+                         "async (inputs/s)", "speedup"});
+    for (std::size_t batch : benchx::kBatchSizes) {
+        const std::size_t n = benchx::AppRig::pointInputs(batch);
+        vpps::VppsOptions sync_opts = benchx::AppRig::defaultOptions();
+        sync_opts.async = false;
+        const auto sync = rig.measureVpps(n, batch, sync_opts);
+        vpps::VppsOptions async_opts = benchx::AppRig::defaultOptions();
+        async_opts.async = true;
+        const auto async = rig.measureVpps(n, batch, async_opts);
+        table.addRow(
+            {std::to_string(batch),
+             common::Table::fmt(sync.inputs_per_sec, 1),
+             common::Table::fmt(async.inputs_per_sec, 1),
+             common::Table::fmt(
+                 async.inputs_per_sec / sync.inputs_per_sec, 2)});
+    }
+    benchx::printTable(
+        "Ablation: host/device asynchrony (Tree-LSTM, "
+        "hidden=embed=256)",
+        table);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: load granularity (rpw, rows per warp) and the
+ * profile-guided tuner of Section III-A1.
+ *
+ * Larger rpw means fewer warps per matrix -- fewer per-VPP matrix
+ * instructions and fewer remote atomic stores in the transposed
+ * product -- but coarser blocks and therefore worse inter-CTA load
+ * balance. The bench sweeps every valid fixed rpw and then lets the
+ * profile-guided tuner pick, verifying it lands on (or adjacent to)
+ * the best fixed setting.
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int
+main()
+{
+    benchx::AppRig rig("Tree-LSTM");
+    vpps::VppsOptions base = benchx::AppRig::defaultOptions();
+    const int max_rpw = vpps::DistributionPlan::maxRpw(
+        rig.model().model(), rig.device().spec(), base);
+    std::cout << "valid rpw range: 1.." << max_rpw << "\n";
+
+    const std::size_t batch = 16;
+    const std::size_t inputs = 96;
+
+    common::Table table(
+        {"rpw", "throughput (inputs/s)", "kernel us/input"});
+    double best_tp = 0.0;
+    int best_rpw = 1;
+    for (int rpw = 1; rpw <= max_rpw; ++rpw) {
+        vpps::VppsOptions opts = base;
+        opts.rpw = rpw;
+        const auto r = rig.measureVpps(inputs, batch, opts);
+        if (r.inputs_per_sec > best_tp) {
+            best_tp = r.inputs_per_sec;
+            best_rpw = rpw;
+        }
+        table.addRow({std::to_string(rpw),
+                      common::Table::fmt(r.inputs_per_sec, 1),
+                      common::Table::fmt(r.gpu_us / inputs, 1)});
+    }
+    benchx::printTable(
+        "Ablation: fixed rpw sweep (Tree-LSTM, batch 16)", table);
+    std::cout << "best fixed rpw: " << best_rpw << " ("
+              << common::Table::fmt(best_tp, 1) << " inputs/s)\n";
+
+    // Profile-guided selection (rpw = 0): trains through the
+    // candidates and locks the winner.
+    vpps::VppsOptions auto_opts = base;
+    auto_opts.rpw = 0;
+    rig.device().resetStats();
+    vpps::Handle handle(rig.model().model(), rig.device(), auto_opts);
+    std::size_t trained = 0;
+    while (!handle.tuneResult() && trained < 4096) {
+        graph::ComputationGraph cg;
+        auto loss = train::buildSuperGraph(rig.model(), cg, trained,
+                                           batch);
+        handle.fb(rig.model().model(), cg, loss);
+        trained += batch;
+    }
+    const auto tune = handle.tuneResult();
+    if (!tune) {
+        std::cout << "tuner did not converge\n";
+        return 1;
+    }
+    common::Table profile({"candidate rpw", "mean batch us"});
+    for (const auto& [rpw, us] : tune->profile)
+        profile.addRow(
+            {std::to_string(rpw), common::Table::fmt(us, 1)});
+    benchx::printTable("Profile-guided tuner measurements", profile);
+    std::cout << "tuner picked rpw " << tune->best_rpw
+              << " after training " << trained
+              << " inputs (best fixed: " << best_rpw << ")\n";
+    return 0;
+}

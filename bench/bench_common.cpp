@@ -1,0 +1,127 @@
+#include "bench_common.hpp"
+
+#include <malloc.h>
+
+#include <iostream>
+
+#include "common/logging.hpp"
+#include "models/bigru_tagger.hpp"
+#include "models/bilstm_char_tagger.hpp"
+#include "models/bilstm_tagger.hpp"
+#include "models/rvnn.hpp"
+#include "models/td_lstm.hpp"
+#include "models/td_rnn.hpp"
+#include "models/tree_lstm.hpp"
+
+namespace benchx {
+
+namespace {
+
+constexpr std::size_t kPoolFloats = 704ull << 20; // ~2.8 GB of fp32
+
+std::unique_ptr<models::BenchmarkModel>
+makeApp(const std::string& app, Corpora& corpora,
+        gpusim::Device& device, common::Rng& prng, std::uint32_t hidden,
+        std::uint32_t embed)
+{
+    auto pick = [](std::uint32_t v, std::uint32_t dflt) {
+        return v == 0 ? dflt : v;
+    };
+    if (app == "Tree-LSTM") {
+        return std::make_unique<models::TreeLstmModel>(
+            corpora.bank, corpora.vocab, pick(embed, 256),
+            pick(hidden, 256), device, prng);
+    }
+    if (app == "BiLSTM") {
+        return std::make_unique<models::BiLstmTagger>(
+            corpora.ner, corpora.vocab, pick(embed, 256),
+            pick(hidden, 256), 256, device, prng);
+    }
+    if (app == "BiGRU") {
+        return std::make_unique<models::BiGruTagger>(
+            corpora.ner, corpora.vocab, pick(embed, 256),
+            pick(hidden, 256), 256, device, prng);
+    }
+    if (app == "BiLSTMwChar") {
+        return std::make_unique<models::BiLstmCharTagger>(
+            corpora.ner, corpora.vocab, pick(embed, 256),
+            pick(hidden, 256), 256, 64, device, prng);
+    }
+    if (app == "TD-RNN") {
+        return std::make_unique<models::TdRnnModel>(
+            corpora.bank, corpora.vocab, pick(hidden, 512), device,
+            prng);
+    }
+    if (app == "TD-LSTM") {
+        return std::make_unique<models::TdLstmModel>(
+            corpora.bank, corpora.vocab, pick(hidden, 256), device,
+            prng);
+    }
+    if (app == "RvNN") {
+        return std::make_unique<models::RvnnModel>(
+            corpora.bank, corpora.vocab, pick(hidden, 512), device,
+            prng);
+    }
+    common::fatal("bench: unknown application '", app, "'");
+}
+
+} // namespace
+
+AppRig::AppRig(const std::string& app, std::uint32_t hidden,
+               std::uint32_t embed, bool functional)
+{
+    common::setVerbose(false);
+    // Keep large freed buffers (per-batch scripts) in the heap
+    // instead of returning them to the OS: avoids re-faulting pages
+    // every batch.
+    mallopt(M_MMAP_THRESHOLD, 512 * 1024 * 1024);
+    mallopt(M_TRIM_THRESHOLD, 512 * 1024 * 1024);
+    device_ = std::make_unique<gpusim::Device>(gpusim::DeviceSpec{},
+                                               kPoolFloats);
+    device_->setFunctional(functional);
+    model_ = makeApp(app, corpora_, *device_, param_rng_, hidden,
+                     embed);
+}
+
+train::ThroughputResult
+AppRig::measureBaseline(const std::string& which,
+                        std::size_t num_inputs, std::size_t batch)
+{
+    std::unique_ptr<exec::Executor> executor;
+    const gpusim::HostSpec host;
+    if (which == "Naive")
+        executor =
+            std::make_unique<exec::NaiveExecutor>(*device_, host);
+    else if (which == "DyNet-DB")
+        executor =
+            std::make_unique<exec::DepthBatchExecutor>(*device_, host);
+    else if (which == "DyNet-AB")
+        executor =
+            std::make_unique<exec::AgendaBatchExecutor>(*device_, host);
+    else if (which == "TF-Fold")
+        executor = std::make_unique<exec::FoldExecutor>(*device_, host);
+    else
+        common::fatal("bench: unknown baseline '", which, "'");
+    device_->resetStats();
+    return train::measureExecutor(*executor, *model_, num_inputs,
+                                  batch);
+}
+
+train::ThroughputResult
+AppRig::measureVpps(std::size_t num_inputs, std::size_t batch,
+                    vpps::VppsOptions opts)
+{
+    device_->resetStats();
+    vpps::Handle handle(model_->model(), *device_, opts);
+    return train::measureVpps(handle, *model_, num_inputs, batch);
+}
+
+void
+printTable(const std::string& title, const common::Table& table)
+{
+    std::cout << "\n== " << title << " ==\n"
+              << table.str() << "\ncsv:\n"
+              << table.csv() << std::flush;
+}
+
+} // namespace benchx

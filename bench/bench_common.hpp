@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared rig for the benchmark harnesses.
+ *
+ * Provides the paper's evaluation setup (Section IV): a simulated
+ * Titan V, synthetic SST / WikiNER corpora, the six applications at
+ * their published dimensions, and helpers that measure simulated
+ * training throughput for VPPS and the baselines. Benches run the
+ * simulator in timing-only mode (identical simulated durations,
+ * no functional float math) so the whole suite finishes quickly.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "data/ner_corpus.hpp"
+#include "data/treebank.hpp"
+#include "data/vocab.hpp"
+#include "exec/agenda_batch_executor.hpp"
+#include "exec/depth_batch_executor.hpp"
+#include "exec/fold_executor.hpp"
+#include "exec/naive_executor.hpp"
+#include "models/benchmark_model.hpp"
+#include "train/harness.hpp"
+#include "vpps/handle.hpp"
+
+namespace benchx {
+
+/** Batch sizes the paper sweeps (Figs 8, 9, 12; Table I). */
+inline const std::vector<std::size_t> kBatchSizes = {1, 2, 4,  8,
+                                                     16, 32, 64, 128};
+
+/** The synthetic evaluation corpora. */
+struct Corpora
+{
+    common::Rng rng{2024};
+    data::Vocab vocab{10000};
+    data::Treebank bank{vocab, 256, rng, 19.0, 4, 36};
+    data::NerCorpus ner{vocab, 256, rng, 24.0, 5, 40};
+};
+
+/**
+ * One application instance on its own simulated device.
+ *
+ * @param app one of "Tree-LSTM", "BiLSTM", "BiLSTMwChar", "TD-RNN",
+ *        "TD-LSTM", "RvNN"
+ * @param hidden/embed 0 selects the paper's setting for that app
+ */
+class AppRig
+{
+  public:
+    explicit AppRig(const std::string& app, std::uint32_t hidden = 0,
+                    std::uint32_t embed = 0, bool functional = false);
+
+    /** Measure a baseline at one batch size (fresh executor). */
+    train::ThroughputResult
+    measureBaseline(const std::string& which, std::size_t num_inputs,
+                    std::size_t batch);
+
+    /** Measure VPPS at one batch size (fresh handle). */
+    train::ThroughputResult
+    measureVpps(std::size_t num_inputs, std::size_t batch,
+                vpps::VppsOptions opts = defaultOptions());
+
+    /** Inputs to train per measurement point: enough batches that
+     *  the host/device pipeline reaches steady state. */
+    static std::size_t
+    pointInputs(std::size_t batch)
+    {
+        return std::max<std::size_t>(48, 6 * batch);
+    }
+
+    /** Paper-default VPPS knobs used by the figure benches. */
+    static vpps::VppsOptions
+    defaultOptions()
+    {
+        vpps::VppsOptions opts;
+        opts.rpw = 2;
+        return opts;
+    }
+
+    gpusim::Device& device() { return *device_; }
+    models::BenchmarkModel& model() { return *model_; }
+
+  private:
+    Corpora corpora_;
+    std::unique_ptr<gpusim::Device> device_;
+    common::Rng param_rng_{99};
+    std::unique_ptr<models::BenchmarkModel> model_;
+};
+
+/** Print a table plus its CSV form under a paper-style heading. */
+void printTable(const std::string& title, const common::Table& table);
+
+} // namespace benchx

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Extension experiment (beyond the paper's tables): a BiGRU tagger.
+ *
+ * The paper's Section II argues Persistent RNN must be re-crafted by
+ * an expert "for every RNN variation (for example, as in GRU)" while
+ * VPPS handles them automatically. The paper never evaluates a GRU;
+ * this bench does, producing the same Fig-12-style throughput series
+ * so the claim can be checked: VPPS should behave on the BiGRU as it
+ * does on the BiLSTM (win clearly at small batches), with zero
+ * GRU-specific code in the VPPS layer.
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int
+main()
+{
+    benchx::AppRig rig("BiGRU");
+    common::Table table(
+        {"batch", "VPPS", "DyNet-DB", "DyNet-AB", "VPPS/best"});
+    for (std::size_t batch : benchx::kBatchSizes) {
+        const std::size_t n = benchx::AppRig::pointInputs(batch);
+        const auto vpps = rig.measureVpps(n, batch);
+        const auto db = rig.measureBaseline("DyNet-DB", n, batch);
+        const auto ab = rig.measureBaseline("DyNet-AB", n, batch);
+        const double best =
+            std::max(db.inputs_per_sec, ab.inputs_per_sec);
+        table.addRow({std::to_string(batch),
+                      common::Table::fmt(vpps.inputs_per_sec, 1),
+                      common::Table::fmt(db.inputs_per_sec, 1),
+                      common::Table::fmt(ab.inputs_per_sec, 1),
+                      common::Table::fmt(
+                          vpps.inputs_per_sec / best, 2)});
+    }
+    benchx::printTable(
+        "Extension: BiGRU tagger throughput (the GRU variant the "
+        "paper says needs no re-crafting)",
+        table);
+    std::cout << "expectation: same qualitative curve as BiLSTM "
+                 "(Fig 12), with no GRU-specific VPPS code\n";
+    return 0;
+}

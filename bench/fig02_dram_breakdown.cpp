@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig 2: distribution of off-chip DRAM loads while training each of
+ * the six dynamic-net applications in DyNet (agenda batching, the
+ * paper's training settings).
+ *
+ * Expected shape (paper): weight-matrix loads account for the
+ * majority of all DRAM loads in every application -- the observation
+ * that motivates register-file parameter persistency.
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int
+main()
+{
+    const std::vector<std::string> apps = {
+        "Tree-LSTM", "BiLSTM", "BiLSTMwChar",
+        "TD-RNN",    "TD-LSTM", "RvNN"};
+
+    common::Table table({"app", "weights %", "activations %",
+                         "gradients %", "other %"});
+    double weight_share_sum = 0.0;
+    for (const auto& app : apps) {
+        benchx::AppRig rig(app);
+        rig.device().resetStats();
+        // Paper training settings: small-batch training is the
+        // regime the motivation section measures.
+        rig.measureBaseline("DyNet-AB", 32, 4);
+        const auto& t = rig.device().traffic();
+        const double total = t.totalLoadBytes();
+        const double weights =
+            t.loadBytes(gpusim::MemSpace::Weights);
+        const double acts =
+            t.loadBytes(gpusim::MemSpace::Activations) +
+            t.loadBytes(gpusim::MemSpace::Params);
+        const double grads =
+            t.loadBytes(gpusim::MemSpace::ActGrads) +
+            t.loadBytes(gpusim::MemSpace::WeightGrads) +
+            t.loadBytes(gpusim::MemSpace::ParamGrads);
+        const double other = total - weights - acts - grads;
+        weight_share_sum += weights / total;
+        table.addRow({app,
+                      common::Table::fmt(100.0 * weights / total, 1),
+                      common::Table::fmt(100.0 * acts / total, 1),
+                      common::Table::fmt(100.0 * grads / total, 1),
+                      common::Table::fmt(100.0 * other / total, 1)});
+    }
+    benchx::printTable(
+        "Fig 2: DRAM load distribution training in DyNet-AB", table);
+    std::cout << "mean weight-load share: "
+              << common::Table::fmt(
+                     100.0 * weight_share_sum / apps.size(), 1)
+              << "% (paper: weights are the majority of loads)\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 8: Tree-LSTM training throughput (inputs/s) across batch sizes
+ * 1..128 for VPPS, DyNet-DB, DyNet-AB, and TF-Fold. Hidden layer and
+ * word-embedding lengths are both 256.
+ *
+ * Expected shape (paper): VPPS dominates everywhere, by the largest
+ * factor at small batches (2.92x over the best DyNet variant at batch
+ * 2, 1.16x at 128); TF-Fold trails both DyNet variants.
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int
+main()
+{
+    benchx::AppRig rig("Tree-LSTM");
+
+    common::Table table({"batch", "VPPS", "DyNet-DB", "DyNet-AB",
+                         "TF-Fold", "VPPS/bestDyNet"});
+    double speedup_sum = 0.0;
+    for (std::size_t batch : benchx::kBatchSizes) {
+        const std::size_t n = benchx::AppRig::pointInputs(batch);
+        const auto vpps = rig.measureVpps(n, batch);
+        const auto db = rig.measureBaseline("DyNet-DB", n, batch);
+        const auto ab = rig.measureBaseline("DyNet-AB", n, batch);
+        const auto fold = rig.measureBaseline("TF-Fold", n, batch);
+        const double best_dynet =
+            std::max(db.inputs_per_sec, ab.inputs_per_sec);
+        const double speedup = vpps.inputs_per_sec / best_dynet;
+        speedup_sum += speedup;
+        table.addRow({std::to_string(batch),
+                      common::Table::fmt(vpps.inputs_per_sec, 1),
+                      common::Table::fmt(db.inputs_per_sec, 1),
+                      common::Table::fmt(ab.inputs_per_sec, 1),
+                      common::Table::fmt(fold.inputs_per_sec, 1),
+                      common::Table::fmt(speedup, 2)});
+    }
+    benchx::printTable(
+        "Fig 8: Tree-LSTM training throughput (inputs/s), "
+        "hidden=embed=256",
+        table);
+    std::cout << "mean VPPS speedup over best DyNet variant: "
+              << common::Table::fmt(
+                     speedup_sum / benchx::kBatchSizes.size(), 2)
+              << "x (paper: 1.48x)\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig 9: sensitivity to parameter size -- Tree-LSTM throughput across
+ * batch sizes for hidden-layer lengths 128, 256, and 384 (word
+ * embedding fixed at 128).
+ *
+ * Expected shape (paper): throughput falls as hidden size grows;
+ * the 256 -> 384 step costs more than 128 -> 256 because at 384 the
+ * register pressure forces one CTA per SM (occupancy 12.5%) instead
+ * of two (25%); at larger hidden sizes the large-batch decline
+ * disappears because the GPU -- not the CPU -- is the bottleneck; and
+ * VPPS stays above DyNet at every hidden size.
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int
+main()
+{
+    const std::vector<std::uint32_t> hiddens = {128, 256, 384};
+
+    for (std::uint32_t hidden : hiddens) {
+        benchx::AppRig rig("Tree-LSTM", hidden, 128);
+
+        // Report the occupancy decision the distribution made.
+        vpps::VppsOptions opts = benchx::AppRig::defaultOptions();
+        auto plan = vpps::DistributionPlan::buildAuto(
+            rig.model().model(), rig.device().spec(), opts, opts.rpw);
+        std::cout << "hidden " << hidden << ": " << plan.ctasPerSm()
+                  << " CTA(s)/SM (occupancy "
+                  << common::Table::fmt(plan.ctasPerSm() * 12.5, 1)
+                  << "%), gradients "
+                  << (plan.gradientsCached() ? "cached" : "via GEMM")
+                  << "\n";
+
+        common::Table table(
+            {"batch", "VPPS", "DyNet-DB", "DyNet-AB", "VPPS/best"});
+        for (std::size_t batch : benchx::kBatchSizes) {
+            const std::size_t n = benchx::AppRig::pointInputs(batch);
+            const auto vpps = rig.measureVpps(n, batch, opts);
+            const auto db = rig.measureBaseline("DyNet-DB", n, batch);
+            const auto ab = rig.measureBaseline("DyNet-AB", n, batch);
+            const double best =
+                std::max(db.inputs_per_sec, ab.inputs_per_sec);
+            table.addRow(
+                {std::to_string(batch),
+                 common::Table::fmt(vpps.inputs_per_sec, 1),
+                 common::Table::fmt(db.inputs_per_sec, 1),
+                 common::Table::fmt(ab.inputs_per_sec, 1),
+                 common::Table::fmt(vpps.inputs_per_sec / best, 2)});
+        }
+        benchx::printTable("Fig 9: Tree-LSTM throughput, hidden=" +
+                               std::to_string(hidden) + ", embed=128",
+                           table);
+    }
+    std::cout << "paper: VPPS mean rate drops 8.5% from hidden 128 to "
+                 "256 and 12.2% from 256 to 384 (occupancy halves at "
+                 "384)\n";
+    return 0;
+}

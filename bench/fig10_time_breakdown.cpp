@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig 10: per-input execution-time breakdown of VPPS on Tree-LSTM
+ * (hidden = embed = 256) across batch sizes: CPU components (graph
+ * construction, forward scheduling, backward scheduling, script
+ * transfer) next to the GPU kernel duration. Host and device run
+ * concurrently, so components are reported side by side as in the
+ * paper.
+ *
+ * Expected shape (paper): at small batches the kernel dominates (it
+ * is the bottleneck); per-input kernel time shrinks with batch size
+ * thanks to task parallelism while CPU scheduling time slowly grows
+ * (working-set/cache effects), making the CPU the bottleneck at
+ * large batches -- which explains the throughput dip at 128.
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int
+main()
+{
+    benchx::AppRig rig("Tree-LSTM");
+
+    common::Table table({"batch", "graph (us)", "fwd sched (us)",
+                         "bwd sched (us)", "transfer (us)",
+                         "CPU total (us)", "GPU kernel (us)",
+                         "bottleneck"});
+    for (std::size_t batch : benchx::kBatchSizes) {
+        const std::size_t n = benchx::AppRig::pointInputs(batch);
+        rig.device().resetStats();
+        vpps::Handle handle(rig.model().model(), rig.device(),
+                            benchx::AppRig::defaultOptions());
+        train::measureVpps(handle, rig.model(), n, batch);
+        const auto& s = handle.stats();
+        const double per_input =
+            static_cast<double>(s.batches) * batch;
+        auto norm = [per_input](double us) { return us / per_input; };
+        const double cpu = norm(s.cpuUs());
+        const double gpu = norm(s.gpuUs());
+        table.addRow({std::to_string(batch),
+                      common::Table::fmt(norm(s.graph_us), 1),
+                      common::Table::fmt(norm(s.fwd_sched_us), 1),
+                      common::Table::fmt(norm(s.bwd_sched_us), 1),
+                      common::Table::fmt(norm(s.transfer_us), 1),
+                      common::Table::fmt(cpu, 1),
+                      common::Table::fmt(gpu, 1),
+                      cpu > gpu ? "CPU" : "GPU"});
+    }
+    benchx::printTable(
+        "Fig 10: VPPS per-input time breakdown, Tree-LSTM "
+        "hidden=embed=256 (CPU and GPU overlap)",
+        table);
+    std::cout << "paper: GPU kernel dominates at small batch; CPU "
+                 "scheduling becomes the bottleneck at large batch\n";
+    return 0;
+}

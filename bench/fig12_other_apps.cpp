@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig 12: training throughput of the five other dynamic-net
+ * applications across batch sizes, VPPS vs both DyNet variants.
+ * Hidden and embedding lengths are 512 for RvNN and TD-RNN and 256
+ * for the rest; the BiLSTM taggers use a 256-long MLP vector and
+ * BiLSTMwChar a 64-long character embedding (Section IV-E).
+ *
+ * Expected shape (paper): VPPS wins for the majority of batch sizes
+ * in every application, by the most at small batches (up to 6.08x for
+ * BiLSTM at batch 2); for the apps with few distinct operation types
+ * (TD-RNN, RvNN) DyNet batches easily and closes the gap at smaller
+ * batch sizes than elsewhere.
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int
+main()
+{
+    const std::vector<std::string> apps = {
+        "BiLSTM", "BiLSTMwChar", "TD-RNN", "TD-LSTM", "RvNN"};
+
+    for (const auto& app : apps) {
+        benchx::AppRig rig(app);
+        common::Table table(
+            {"batch", "VPPS", "DyNet-DB", "DyNet-AB", "VPPS/best"});
+        double best_ratio = 0.0;
+        std::size_t best_batch = 0;
+        for (std::size_t batch : benchx::kBatchSizes) {
+            const std::size_t n = benchx::AppRig::pointInputs(batch);
+            const auto vpps = rig.measureVpps(n, batch);
+            const auto db = rig.measureBaseline("DyNet-DB", n, batch);
+            const auto ab = rig.measureBaseline("DyNet-AB", n, batch);
+            const double best =
+                std::max(db.inputs_per_sec, ab.inputs_per_sec);
+            const double ratio = vpps.inputs_per_sec / best;
+            if (ratio > best_ratio) {
+                best_ratio = ratio;
+                best_batch = batch;
+            }
+            table.addRow({std::to_string(batch),
+                          common::Table::fmt(vpps.inputs_per_sec, 1),
+                          common::Table::fmt(db.inputs_per_sec, 1),
+                          common::Table::fmt(ab.inputs_per_sec, 1),
+                          common::Table::fmt(ratio, 2)});
+        }
+        benchx::printTable("Fig 12: " + app + " training throughput",
+                           table);
+        std::cout << app << ": max VPPS speedup "
+                  << common::Table::fmt(best_ratio, 2) << "x at batch "
+                  << best_batch << "\n";
+    }
+    std::cout << "\npaper: BiLSTM peaks at 6.08x (batch 2); TD-RNN "
+                 "and RvNN let DyNet catch up at smaller batches than "
+                 "the other apps\n";
+    return 0;
+}

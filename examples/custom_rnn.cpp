@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Portability demo: a user-invented recurrent architecture that no
+ * hand-crafted persistent kernel exists for.
+ *
+ * The paper's central claim against Persistent RNN [6] is that VPPS
+ * "does not make any assumptions about the shape of the given
+ * computation graphs" -- a custom cell, or even a structure that
+ * changes stochastically per input, needs no expert kernel work.
+ * This example invents such a network: a gated cell with an
+ * input-dependent skip topology (every input picks different skip
+ * distances), trains it through VPPS, and cross-checks the loss
+ * against the per-node baseline executor to show the persistent
+ * kernel computes exactly the same function.
+ */
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exec/naive_executor.hpp"
+#include "gpusim/device.hpp"
+#include "graph/expr.hpp"
+#include "vpps/handle.hpp"
+
+namespace {
+
+/** The custom model's parameters. */
+struct CustomNet
+{
+    graph::Model model;
+    graph::ParamId w_in, w_rec, w_skip, w_gate, b, w_out, b_out;
+
+    explicit CustomNet(gpusim::Device& device, common::Rng& rng)
+    {
+        w_in = model.addWeightMatrix("W_in", 48, 24);
+        w_rec = model.addWeightMatrix("W_rec", 48, 48);
+        w_skip = model.addWeightMatrix("W_skip", 48, 48);
+        w_gate = model.addWeightMatrix("W_gate", 48, 48);
+        b = model.addBias("b", 48);
+        w_out = model.addWeightMatrix("W_out", 3, 48);
+        b_out = model.addBias("b_out", 3);
+        model.allocate(device, rng);
+        model.learning_rate = 0.05f;
+    }
+
+    /**
+     * One step combines the previous state, a *skip* state whose
+     * distance is data-dependent, and the input, through a
+     * multiplicative gate:
+     *
+     *   g_t = sigmoid(W_gate h_{t-1})
+     *   h_t = tanh(W_in x_t + W_rec h_{t-1} + W_skip h_{t-skip}) * g_t
+     */
+    graph::Expr
+    step(graph::ComputationGraph& cg,
+         const std::vector<graph::Expr>& history, graph::Expr x,
+         std::size_t skip) const
+    {
+        using namespace graph;
+        Expr prev = history.back();
+        Expr skipped =
+            history[history.size() > skip
+                        ? history.size() - 1 - skip
+                        : 0];
+        Expr gate = sigmoid(matvec(model, w_gate, prev));
+        Expr body = graph::tanh(add({matvec(model, w_in, x),
+                                     matvec(model, w_rec, prev),
+                                     matvec(model, w_skip, skipped),
+                                     parameter(cg, model, b)}));
+        return cmult(body, gate);
+    }
+
+    graph::Expr
+    buildLoss(graph::ComputationGraph& cg, common::Rng& data_rng) const
+    {
+        using namespace graph;
+        const int len = data_rng.nextInt(4, 12);
+        std::vector<Expr> history{
+            input(cg, std::vector<float>(48, 0.0f))};
+        float checksum = 0.0f;
+        for (int t = 0; t < len; ++t) {
+            std::vector<float> x(24);
+            for (auto& v : x) {
+                v = data_rng.nextFloat(-1.0f, 1.0f);
+                checksum += v;
+            }
+            // The skip distance itself is input-dependent: the graph
+            // wiring changes per sequence, not just its depth.
+            const std::size_t skip =
+                1 + data_rng.nextBelow(3);
+            history.push_back(step(cg, history,
+                                   input(cg, std::move(x)), skip));
+        }
+        const std::uint32_t label =
+            checksum > 1.0f ? 2u : (checksum < -1.0f ? 0u : 1u);
+        Expr logits =
+            matvec(model, w_out, history.back()) +
+            parameter(cg, model, b_out);
+        return pickNegLogSoftmax(logits, label);
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    // Two identical rigs: one trains through VPPS, one through the
+    // per-node baseline, fed identical data streams.
+    gpusim::Device dev_a(gpusim::DeviceSpec{}, 64u << 20);
+    gpusim::Device dev_b(gpusim::DeviceSpec{}, 64u << 20);
+    common::Rng pa(5), pb(5);
+    CustomNet net_a(dev_a, pa);
+    CustomNet net_b(dev_b, pb);
+
+    vpps::VppsOptions opts;
+    opts.async = false; // compare per-batch losses directly
+    vpps::Handle handle(net_a.model, dev_a, opts);
+    exec::NaiveExecutor baseline(dev_b, gpusim::HostSpec{});
+
+    common::Rng data_a(77), data_b(77);
+    double max_diff = 0.0;
+    for (int step = 0; step < 60; ++step) {
+        graph::ComputationGraph cg_a;
+        std::vector<graph::Expr> la;
+        for (int i = 0; i < 4; ++i)
+            la.push_back(net_a.buildLoss(cg_a, data_a));
+        const float va = handle.fb(net_a.model, cg_a,
+                                   graph::sumLosses(std::move(la)));
+
+        graph::ComputationGraph cg_b;
+        std::vector<graph::Expr> lb;
+        for (int i = 0; i < 4; ++i)
+            lb.push_back(net_b.buildLoss(cg_b, data_b));
+        const float vb = baseline.trainBatch(
+            net_b.model, cg_b, graph::sumLosses(std::move(lb)));
+
+        max_diff = std::max(
+            max_diff, static_cast<double>(std::abs(va - vb)));
+        if (step % 15 == 0)
+            std::cout << "step " << step << "  loss/item "
+                      << va / 4.0f << "\n";
+    }
+    std::cout << "\ncustom architecture trained through the "
+                 "persistent kernel;\n"
+              << "max |loss_vpps - loss_baseline| over 60 batches: "
+              << max_diff << " (identical math, different engine)\n";
+    return max_diff < 1e-2 ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace common {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        common::panic("Rng::nextBelow called with bound 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % bound);
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % bound;
+}
+
+int
+Rng::nextInt(int lo, int hi)
+{
+    if (hi < lo)
+        common::panic("Rng::nextInt: hi < lo");
+    return lo + static_cast<int>(
+        nextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(nextDouble()) * (hi - lo);
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    if (have_spare_gaussian_) {
+        have_spare_gaussian_ = false;
+        return mean + stddev * spare_gaussian_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_gaussian_ = v * mul;
+    have_spare_gaussian_ = true;
+    return mean + stddev * u * mul;
+}
+
+bool
+Rng::nextBernoulli(double p)
+{
+    return nextDouble() < p;
+}
+
+std::size_t
+Rng::nextZipf(std::size_t n, double exponent)
+{
+    if (n == 0)
+        common::panic("Rng::nextZipf: empty support");
+    // Inverse-CDF by rejection over the harmonic weights; for the
+    // vocabulary sizes used here (tens of thousands) a simple
+    // approximate inversion is adequate and fast.
+    const double u = nextDouble();
+    // Approximate inverse of the normalized truncated zeta CDF using
+    // the continuous analog: P(X <= x) ~ (x^(1-s) - 1) / (n^(1-s) - 1).
+    const double s = exponent;
+    if (s == 1.0) {
+        const double x = std::pow(static_cast<double>(n), u);
+        std::size_t idx = static_cast<std::size_t>(x) - 1;
+        return idx >= n ? n - 1 : idx;
+    }
+    const double one_minus_s = 1.0 - s;
+    const double nn = std::pow(static_cast<double>(n), one_minus_s);
+    const double x = std::pow(u * (nn - 1.0) + 1.0, 1.0 / one_minus_s);
+    std::size_t idx = static_cast<std::size_t>(x) - (x >= 1.0 ? 1 : 0);
+    return idx >= n ? n - 1 : idx;
+}
+
+} // namespace common

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic random-number generation.
+ *
+ * All stochastic pieces of the reproduction (synthetic corpora,
+ * parameter initialization) draw from this generator so every run of
+ * every bench and test is bit-reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace common {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * std::mt19937 would also work but its distributions are not
+ * guaranteed identical across standard libraries; we implement the
+ * distributions we need ourselves for bit-reproducibility.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator. The default seed is arbitrary but fixed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int nextInt(int lo, int hi);
+
+    /** @return a uniform float in [0, 1). */
+    double nextDouble();
+
+    /** @return a uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** @return a normally distributed value (Box-Muller). */
+    double nextGaussian(double mean = 0.0, double stddev = 1.0);
+
+    /** @return true with probability p. */
+    bool nextBernoulli(double p);
+
+    /**
+     * @return an index sampled from a Zipf distribution with the
+     * given exponent over [0, n). Used by the synthetic vocabulary.
+     */
+    std::size_t nextZipf(std::size_t n, double exponent);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+    bool have_spare_gaussian_ = false;
+    double spare_gaussian_ = 0.0;
+};
+
+} // namespace common

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small fixed-width table printer used by the benchmark harnesses to
+ * emit paper-style tables and figure series.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace common {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned,
+ * padded columns. Also supports CSV output so the bench results can
+ * be post-processed.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render as an aligned text table. */
+    std::string str() const;
+
+    /** Render as CSV. */
+    std::string csv() const;
+
+    /** Number formatting helpers used by the bench harnesses. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtInt(long long v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace common

@@ -1,0 +1,39 @@
+#include "data/ner_corpus.hpp"
+
+namespace data {
+
+NerCorpus::NerCorpus(const Vocab& vocab, std::size_t num_sentences,
+                     common::Rng& rng, double mean_len,
+                     std::size_t min_len, std::size_t max_len)
+{
+    sentences_.reserve(num_sentences);
+    for (std::size_t s = 0; s < num_sentences; ++s) {
+        std::size_t len = min_len;
+        const double p = 1.0 / (mean_len - static_cast<double>(min_len));
+        while (len < max_len && rng.nextDouble() > p)
+            ++len;
+
+        TaggedSentence ts;
+        ts.words.resize(len);
+        ts.tags.resize(len);
+        std::uint32_t entity_tag = 0; // 0 = O
+        for (std::size_t i = 0; i < len; ++i) {
+            ts.words[i] = vocab.sample(rng);
+            if (entity_tag != 0 && rng.nextBernoulli(0.5)) {
+                // Continue the entity: matching I- tag.
+                ts.tags[i] = entity_tag + 1;
+            } else if (rng.nextBernoulli(0.12)) {
+                // Open a new entity: one of 4 B- tags (1, 3, 5, 7).
+                entity_tag =
+                    1 + 2 * static_cast<std::uint32_t>(rng.nextBelow(4));
+                ts.tags[i] = entity_tag;
+            } else {
+                entity_tag = 0;
+                ts.tags[i] = 0;
+            }
+        }
+        sentences_.push_back(std::move(ts));
+    }
+}
+
+} // namespace data

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic named-entity corpus.
+ *
+ * Substitute for the WikiNER English corpus [30] used to train the
+ * BiLSTM taggers: sentences are Zipf-sampled word sequences with a
+ * WikiNER-like length distribution and per-word tags drawn from a
+ * 9-tag IOB-style set. Rare words occur at a realistic rate so
+ * BiLSTMwChar's character path fires as in the paper.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/vocab.hpp"
+
+namespace data {
+
+/** One tagged sentence. */
+struct TaggedSentence
+{
+    std::vector<std::uint32_t> words;
+    std::vector<std::uint32_t> tags;
+
+    std::size_t length() const { return words.size(); }
+};
+
+/** A deterministic synthetic NER corpus. */
+class NerCorpus
+{
+  public:
+    NerCorpus(const Vocab& vocab, std::size_t num_sentences,
+              common::Rng& rng, double mean_len = 24.0,
+              std::size_t min_len = 5, std::size_t max_len = 60);
+
+    std::size_t size() const { return sentences_.size(); }
+    const TaggedSentence& sentence(std::size_t i) const
+    {
+        return sentences_[i];
+    }
+
+    /** WikiNER tag inventory: O + {B,I} x {PER, LOC, ORG, MISC}. */
+    static constexpr std::uint32_t kNumTags = 9;
+
+  private:
+    std::vector<TaggedSentence> sentences_;
+};
+
+} // namespace data

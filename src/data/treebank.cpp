@@ -1,0 +1,73 @@
+#include "data/treebank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hpp"
+
+namespace data {
+
+std::size_t
+Tree::depth() const
+{
+    if (root < 0)
+        return 0;
+    // Iterative post-order depth computation.
+    std::vector<std::size_t> d(nodes.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        // Children are always constructed before parents.
+        const TreeNode& n = nodes[i];
+        if (!n.isLeaf())
+            d[i] = 1 + std::max(d[static_cast<std::size_t>(n.left)],
+                                d[static_cast<std::size_t>(n.right)]);
+    }
+    return d[static_cast<std::size_t>(root)];
+}
+
+Treebank::Treebank(const Vocab& vocab, std::size_t num_sentences,
+                   common::Rng& rng, double mean_len,
+                   std::size_t min_len, std::size_t max_len)
+{
+    trees_.reserve(num_sentences);
+    for (std::size_t s = 0; s < num_sentences; ++s) {
+        // Sentence length: clamped geometric around the mean, which
+        // approximates SST's right-skewed length histogram.
+        std::size_t len = min_len;
+        const double p = 1.0 / std::max(1.0, mean_len - min_len);
+        while (len < max_len && rng.nextDouble() > p)
+            ++len;
+
+        Tree t;
+        t.label = static_cast<std::uint32_t>(
+            rng.nextBelow(kNumLabels));
+        t.words.resize(len);
+        for (auto& w : t.words)
+            w = vocab.sample(rng);
+
+        // Uniform random binary parse over [0, len): recursively
+        // split at a random pivot.
+        std::function<std::int32_t(std::size_t, std::size_t)> build =
+            [&](std::size_t lo, std::size_t hi) -> std::int32_t {
+            if (hi - lo == 1) {
+                TreeNode leaf;
+                leaf.word = t.words[lo];
+                t.nodes.push_back(leaf);
+                return static_cast<std::int32_t>(t.nodes.size() - 1);
+            }
+            const std::size_t pivot =
+                lo + 1 + rng.nextBelow(hi - lo - 1);
+            const std::int32_t left = build(lo, pivot);
+            const std::int32_t right = build(pivot, hi);
+            TreeNode internal;
+            internal.left = left;
+            internal.right = right;
+            t.nodes.push_back(internal);
+            return static_cast<std::int32_t>(t.nodes.size() - 1);
+        };
+        t.root = build(0, len);
+        trees_.push_back(std::move(t));
+    }
+}
+
+} // namespace data

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic sentiment treebank.
+ *
+ * Substitute for the Stanford Sentiment Treebank [24]: sentences are
+ * word-id sequences with an SST-like length distribution, each paired
+ * with a uniformly random binary parse tree and a 5-way sentiment
+ * label. The structural variety (different lengths and tree shapes
+ * per input) is exactly what makes Tree-LSTM, RvNN, and the TD models
+ * dynamic, so the workloads exercise the same code paths as the real
+ * treebank.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/vocab.hpp"
+
+namespace data {
+
+/** A node of a binary parse tree. */
+struct TreeNode
+{
+    /** Child indices into Tree::nodes, or -1 for leaves. */
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+
+    /** Word id (leaves only). */
+    std::uint32_t word = 0;
+
+    bool isLeaf() const { return left < 0; }
+};
+
+/** One parsed sentence with its sentiment label. */
+struct Tree
+{
+    std::vector<TreeNode> nodes;
+    std::int32_t root = -1;
+    std::uint32_t label = 0; //!< 5-way sentiment
+    std::vector<std::uint32_t> words; //!< leaves left-to-right
+
+    std::size_t length() const { return words.size(); }
+
+    /** Maximum depth of the parse (root = 0). */
+    std::size_t depth() const;
+};
+
+/** A deterministic synthetic treebank. */
+class Treebank
+{
+  public:
+    /**
+     * @param vocab vocabulary to draw words from
+     * @param num_sentences corpus size
+     * @param rng deterministic generator
+     * @param mean_len average sentence length (SST trains at ~19)
+     */
+    Treebank(const Vocab& vocab, std::size_t num_sentences,
+             common::Rng& rng, double mean_len = 19.0,
+             std::size_t min_len = 4, std::size_t max_len = 48);
+
+    std::size_t size() const { return trees_.size(); }
+    const Tree& sentence(std::size_t i) const { return trees_[i]; }
+
+    static constexpr std::uint32_t kNumLabels = 5;
+
+  private:
+    std::vector<Tree> trees_;
+};
+
+} // namespace data

@@ -1,0 +1,57 @@
+#include "data/vocab.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace data {
+
+Vocab::Vocab(std::size_t size, std::size_t corpus_tokens,
+             double zipf_exponent)
+    : zipf_exponent_(zipf_exponent)
+{
+    if (size == 0)
+        common::fatal("Vocab: size must be positive");
+    freq_.resize(size);
+    // Normalize harmonic mass so counts sum to ~corpus_tokens.
+    double harmonic = 0.0;
+    for (std::size_t r = 1; r <= size; ++r)
+        harmonic += 1.0 / std::pow(static_cast<double>(r),
+                                   zipf_exponent);
+    const double scale = static_cast<double>(corpus_tokens) / harmonic;
+    for (std::size_t r = 0; r < size; ++r) {
+        freq_[r] = static_cast<std::uint64_t>(
+            scale / std::pow(static_cast<double>(r + 1),
+                             zipf_exponent));
+    }
+}
+
+std::uint32_t
+Vocab::sample(common::Rng& rng) const
+{
+    return static_cast<std::uint32_t>(
+        rng.nextZipf(freq_.size(), zipf_exponent_));
+}
+
+std::vector<std::uint32_t>
+Vocab::chars(std::uint32_t w) const
+{
+    // splitmix-style hash of the word id seeds a private stream so
+    // every word has a stable spelling.
+    std::uint64_t x = (static_cast<std::uint64_t>(w) + 1) *
+                      0x9E3779B97F4A7C15ull;
+    auto next = [&x]() {
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ull;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBull;
+        return x ^ (x >> 31);
+    };
+    const std::size_t len = 3 + next() % 8;
+    std::vector<std::uint32_t> out(len);
+    for (auto& c : out)
+        c = static_cast<std::uint32_t>(next() % kAlphabet);
+    return out;
+}
+
+} // namespace data

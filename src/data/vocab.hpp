@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic Zipf-distributed vocabulary.
+ *
+ * Substitute for the datasets' real vocabularies: token frequencies
+ * follow a Zipf law, so word-frequency-dependent model behaviour --
+ * in particular BiLSTMwChar's character path for words seen fewer
+ * than five times (Section IV-E) -- exercises the same code paths as
+ * the paper's corpora. Character decompositions of words are derived
+ * deterministically from the word id.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace data {
+
+/** A vocabulary with Zipfian corpus frequencies. */
+class Vocab
+{
+  public:
+    /**
+     * @param size number of word types
+     * @param corpus_tokens modeled corpus size (sets absolute counts)
+     * @param zipf_exponent Zipf exponent (~1 for natural language)
+     */
+    Vocab(std::size_t size, std::size_t corpus_tokens = 400'000,
+          double zipf_exponent = 1.05);
+
+    std::size_t size() const { return freq_.size(); }
+
+    /** Modeled corpus count of word @p w. */
+    std::uint64_t frequency(std::uint32_t w) const { return freq_[w]; }
+
+    /** @return true if the word is rare (frequency < 5), which makes
+     *  BiLSTMwChar build its embedding from characters. */
+    bool isRare(std::uint32_t w) const { return freq_[w] < 5; }
+
+    /** Sample a word id Zipf-proportionally to its frequency. */
+    std::uint32_t sample(common::Rng& rng) const;
+
+    /** Deterministic character decomposition of a word (3-10 chars
+     *  over a kAlphabet-letter alphabet). */
+    std::vector<std::uint32_t> chars(std::uint32_t w) const;
+
+    /** Alphabet size for character embeddings. */
+    static constexpr std::uint32_t kAlphabet = 52;
+
+  private:
+    std::vector<std::uint64_t> freq_;
+    double zipf_exponent_;
+};
+
+} // namespace data

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Agenda-based on-the-fly batching (DyNet-AB).
+ *
+ * The agenda-based variant of on-the-fly operation batching [9]: a
+ * ready list of nodes whose arguments have all executed is maintained,
+ * and at each step the largest same-signature class of ready nodes is
+ * launched as one batched kernel. Compared to depth-based batching
+ * this can merge same-type nodes from different depths, typically
+ * producing fewer, larger groups (the paper's best-performing
+ * baseline).
+ */
+#pragma once
+
+#include "exec/executor.hpp"
+
+namespace exec {
+
+/** DyNet with agenda-based dynamic batching. */
+class AgendaBatchExecutor : public Executor
+{
+  public:
+    using Executor::Executor;
+
+    const char* name() const override { return "DyNet-AB"; }
+
+  protected:
+    std::vector<std::vector<graph::NodeId>>
+    scheduleForward(graph::ComputationGraph& cg,
+                    const std::vector<bool>& live) override;
+
+    double scheduleOverheadUs(std::size_t n_nodes,
+                              std::size_t n_groups) const override;
+};
+
+} // namespace exec

@@ -1,0 +1,35 @@
+#include "exec/depth_batch_executor.hpp"
+
+#include "exec/kernels.hpp"
+#include "graph/level_sort.hpp"
+
+namespace exec {
+
+std::vector<std::vector<graph::NodeId>>
+DepthBatchExecutor::scheduleForward(graph::ComputationGraph& cg,
+                                    const std::vector<bool>& live)
+{
+    const auto levels = graph::computeLevels(cg);
+    std::vector<std::vector<graph::NodeId>> schedule;
+    for (const auto& level : levels) {
+        std::vector<graph::NodeId> eligible;
+        for (graph::NodeId id : level)
+            if (live[id] && opLaunchesKernel(cg.node(id).op))
+                eligible.push_back(id);
+        for (auto& group :
+             groupBySignature(cg, eligible, host_.max_batch_group))
+            schedule.push_back(std::move(group));
+    }
+    return schedule;
+}
+
+double
+DepthBatchExecutor::scheduleOverheadUs(std::size_t n_nodes,
+                                       std::size_t n_groups) const
+{
+    return static_cast<double>(n_nodes) *
+               (host_.sched_node_us + host_.batch_marshal_node_us) +
+           static_cast<double>(n_groups) * host_.batch_group_us;
+}
+
+} // namespace exec

@@ -1,0 +1,126 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+#include "exec/kernels.hpp"
+#include "graph/level_sort.hpp"
+
+namespace exec {
+
+Executor::Executor(gpusim::Device& device, gpusim::HostSpec host)
+    : device_(device), host_(host)
+{
+}
+
+float
+Executor::trainBatch(graph::Model& model, graph::ComputationGraph& cg,
+                     graph::Expr loss)
+{
+    if (!model.allocated())
+        common::fatal("Executor: model must be allocated first");
+    auto& mem = device_.memory();
+    const auto pool_mark = mem.mark();
+    const double gpu_before = device_.busyUs();
+    const auto launches_before = device_.numLaunches();
+
+    const std::vector<bool> live = graph::reachableFrom(cg, loss.id);
+    std::size_t n_live = 0;
+    for (bool b : live)
+        n_live += b ? 1 : 0;
+
+    const double ws = host_.workingSetFactor(n_live);
+
+    // Host: graph construction (charged here; the graph was built by
+    // the caller immediately before this call).
+    double cpu_us = static_cast<double>(cg.size()) *
+                    host_.graph_node_us * ws;
+
+    // Placement + input transfer.
+    const double input_bytes = placeForward(device_, model, cg, live);
+    cpu_us += host_.pcie_copy_fixed_us +
+              input_bytes / (host_.pcie_bandwidth_gbps * 1e3);
+
+    // Forward schedule and execution.
+    auto schedule = scheduleForward(cg, live);
+    cpu_us += scheduleOverheadUs(n_live, schedule.size()) * ws;
+    for (const auto& group : schedule) {
+        runForwardGroup(device_, model, cg, group);
+        afterGroup(cg, group);
+    }
+
+    // Backward: placement, grad zeroing, reverse schedule.
+    const double zero_bytes =
+        placeBackward(device_, model, cg, live, loss.id);
+    gpusim::KernelCost memset_cost;
+    memset_cost.dram_store_bytes = zero_bytes;
+    memset_cost.parallel_threads = zero_bytes / 4.0;
+    device_.addStore(gpusim::MemSpace::ActGrads, zero_bytes);
+    device_.launchKernel(memset_cost);
+
+    cpu_us += scheduleOverheadUs(n_live, schedule.size()) * ws;
+    for (auto it = schedule.rbegin(); it != schedule.rend(); ++it) {
+        runBackwardGroup(device_, model, cg, *it);
+        afterGroup(cg, *it);
+    }
+
+    // Parameter updates.
+    runParameterUpdates(device_, model, cg, live);
+
+    // Read the loss back (device-to-host copy of one float).
+    const float loss_value = mem.data(cg.node(loss.id).fwd)[0];
+    cpu_us += host_.pcie_copy_fixed_us;
+
+    // Per-kernel host preparation cost.
+    const auto launches = device_.numLaunches() - launches_before;
+    cpu_us += static_cast<double>(launches) * host_.launch_prep_us;
+
+    stats_.cpu_us += cpu_us;
+    stats_.gpu_us += device_.busyUs() - gpu_before;
+    stats_.launches += launches;
+    stats_.batches += 1;
+    stats_.nodes += n_live;
+    stats_.groups += schedule.size();
+
+    mem.resetTo(pool_mark);
+    return loss_value;
+}
+
+void
+Executor::afterGroup(graph::ComputationGraph& cg,
+                     const std::vector<graph::NodeId>& group)
+{
+    (void)cg;
+    (void)group;
+}
+
+std::vector<std::vector<graph::NodeId>>
+groupBySignature(const graph::ComputationGraph& cg,
+                 const std::vector<graph::NodeId>& ids, int max_group)
+{
+    std::map<std::uint64_t, std::vector<graph::NodeId>> by_sig;
+    for (graph::NodeId id : ids)
+        by_sig[graph::batchSignature(cg.node(id))].push_back(id);
+    std::vector<std::vector<graph::NodeId>> groups;
+    groups.reserve(by_sig.size());
+    for (auto& [sig, group] : by_sig) {
+        if (max_group <= 0 ||
+            group.size() <= static_cast<std::size_t>(max_group)) {
+            groups.push_back(std::move(group));
+            continue;
+        }
+        for (std::size_t i = 0; i < group.size();
+             i += static_cast<std::size_t>(max_group)) {
+            const std::size_t end = std::min(
+                group.size(), i + static_cast<std::size_t>(max_group));
+            groups.emplace_back(group.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                group.begin() +
+                                    static_cast<std::ptrdiff_t>(end));
+        }
+    }
+    return groups;
+}
+
+} // namespace exec

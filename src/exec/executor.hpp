@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Base class for graph executors and the shared train-batch driver.
+ *
+ * An executor owns a scheduling strategy: given the live nodes of a
+ * super-graph it produces an ordered list of same-signature groups,
+ * each of which runs as one (batched) kernel. The base class drives
+ * placement, forward, backward, parameter update, and host/device
+ * time accounting; subclasses provide the grouping and their host
+ * overhead model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "graph/expr.hpp"
+
+namespace exec {
+
+/** Accumulated per-executor statistics. */
+struct ExecStats
+{
+    double gpu_us = 0.0;   //!< device busy time
+    double cpu_us = 0.0;   //!< host preparation time
+    std::uint64_t launches = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t nodes = 0;
+    std::uint64_t groups = 0;
+
+    /** Total wall time assuming synchronous host/device operation. */
+    double totalUs() const { return gpu_us + cpu_us; }
+
+    void reset() { *this = ExecStats{}; }
+};
+
+/** Abstract executor: fwd + bwd + update of a super-graph. */
+class Executor
+{
+  public:
+    Executor(gpusim::Device& device, gpusim::HostSpec host);
+    virtual ~Executor() = default;
+
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    /** @return a short name for tables ("DyNet-AB" etc.). */
+    virtual const char* name() const = 0;
+
+    /**
+     * Train one batch: forward, backward, and parameter update for
+     * the super-graph rooted at @p loss.
+     *
+     * @return the batch loss.
+     */
+    float trainBatch(graph::Model& model, graph::ComputationGraph& cg,
+                     graph::Expr loss);
+
+    const ExecStats& stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    gpusim::Device& device() { return device_; }
+    const gpusim::HostSpec& host() const { return host_; }
+
+  protected:
+    /**
+     * Produce the ordered forward schedule: each entry is a group of
+     * same-signature live nodes that runs as one kernel. Every live
+     * kernel-launching node must appear exactly once, and a node's
+     * arguments must appear in strictly earlier groups.
+     */
+    virtual std::vector<std::vector<graph::NodeId>>
+    scheduleForward(graph::ComputationGraph& cg,
+                    const std::vector<bool>& live) = 0;
+
+    /**
+     * Host time spent producing and administering the schedule, us.
+     * @param n_nodes live node count
+     * @param n_groups group count from scheduleForward
+     */
+    virtual double scheduleOverheadUs(std::size_t n_nodes,
+                                      std::size_t n_groups) const = 0;
+
+    /**
+     * Hook invoked after each group's kernel(s); strategies with
+     * extra device-side glue (TF-Fold's gather/scatter around merged
+     * ops) launch it here. Default: nothing.
+     */
+    virtual void afterGroup(graph::ComputationGraph& cg,
+                            const std::vector<graph::NodeId>& group);
+
+    gpusim::Device& device_;
+    gpusim::HostSpec host_;
+    ExecStats stats_;
+};
+
+/**
+ * Partition @p ids into same-signature runs preserving order, each
+ * capped at @p max_group nodes (the baselines' effective merge
+ * width; 0 = unlimited).
+ */
+std::vector<std::vector<graph::NodeId>>
+groupBySignature(const graph::ComputationGraph& cg,
+                 const std::vector<graph::NodeId>& ids,
+                 int max_group = 0);
+
+} // namespace exec

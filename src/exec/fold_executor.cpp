@@ -1,0 +1,56 @@
+#include "exec/fold_executor.hpp"
+
+#include "exec/kernels.hpp"
+#include "graph/level_sort.hpp"
+
+namespace exec {
+
+std::vector<std::vector<graph::NodeId>>
+FoldExecutor::scheduleForward(graph::ComputationGraph& cg,
+                              const std::vector<bool>& live)
+{
+    const auto levels = graph::computeLevels(cg);
+    std::vector<std::vector<graph::NodeId>> schedule;
+    for (const auto& level : levels) {
+        std::vector<graph::NodeId> eligible;
+        for (graph::NodeId id : level)
+            if (live[id] && opLaunchesKernel(cg.node(id).op))
+                eligible.push_back(id);
+        for (auto& group :
+             groupBySignature(cg, eligible, host_.max_batch_group))
+            schedule.push_back(std::move(group));
+    }
+    return schedule;
+}
+
+double
+FoldExecutor::scheduleOverheadUs(std::size_t n_nodes,
+                                 std::size_t n_groups) const
+{
+    return static_cast<double>(n_nodes) *
+               (host_.sched_node_us + host_.batch_marshal_node_us) +
+           static_cast<double>(n_groups) * host_.fold_group_us +
+           host_.fold_batch_us;
+}
+
+void
+FoldExecutor::afterGroup(graph::ComputationGraph& cg,
+                         const std::vector<graph::NodeId>& group)
+{
+    // Gather/scatter glue around each merged operation: the rewritten
+    // static graph moves the group's operand tensors through
+    // tf.gather / tf.concat nodes, an extra kernel that re-reads and
+    // re-writes the group's outputs.
+    double bytes = 0.0;
+    for (graph::NodeId id : group)
+        bytes += 4.0 * static_cast<double>(cg.node(id).shape.size());
+    gpusim::KernelCost glue;
+    glue.dram_load_bytes = bytes;
+    glue.dram_store_bytes = bytes;
+    glue.parallel_threads = bytes / 4.0;
+    device_.addLoad(gpusim::MemSpace::Activations, bytes);
+    device_.addStore(gpusim::MemSpace::Activations, bytes);
+    device_.launchKernel(glue);
+}
+
+} // namespace exec

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * TensorFlow-Fold-style baseline (TF-Fold).
+ *
+ * TensorFlow Fold [17] achieves dynamic batching by rewriting the
+ * per-input graphs into a static graph with gather/concat glue and
+ * depth-wise merged operations. Functionally it schedules like
+ * depth-based batching, but pays (i) a higher per-group host cost for
+ * the rewrite machinery, (ii) a fixed per-batch feed/fetch cost, and
+ * (iii) extra device-side gather/scatter data movement around each
+ * merged operation. Those overheads put it below both DyNet variants
+ * in Fig 8, which this executor reproduces.
+ */
+#pragma once
+
+#include "exec/executor.hpp"
+
+namespace exec {
+
+/** TF-Fold-like depth batching with rewrite overheads. */
+class FoldExecutor : public Executor
+{
+  public:
+    using Executor::Executor;
+
+    const char* name() const override { return "TF-Fold"; }
+
+  protected:
+    std::vector<std::vector<graph::NodeId>>
+    scheduleForward(graph::ComputationGraph& cg,
+                    const std::vector<bool>& live) override;
+
+    double scheduleOverheadUs(std::size_t n_nodes,
+                              std::size_t n_groups) const override;
+
+    void afterGroup(graph::ComputationGraph& cg,
+                    const std::vector<graph::NodeId>& group) override;
+};
+
+} // namespace exec

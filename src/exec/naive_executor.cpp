@@ -1,0 +1,31 @@
+#include "exec/naive_executor.hpp"
+
+#include "exec/kernels.hpp"
+
+namespace exec {
+
+std::vector<std::vector<graph::NodeId>>
+NaiveExecutor::scheduleForward(graph::ComputationGraph& cg,
+                               const std::vector<bool>& live)
+{
+    std::vector<std::vector<graph::NodeId>> schedule;
+    for (graph::NodeId id = 0; id < cg.size(); ++id) {
+        if (!live[id])
+            continue;
+        if (!opLaunchesKernel(cg.node(id).op))
+            continue;
+        schedule.push_back({id});
+    }
+    return schedule;
+}
+
+double
+NaiveExecutor::scheduleOverheadUs(std::size_t n_nodes,
+                                  std::size_t n_groups) const
+{
+    (void)n_groups;
+    // Per-node argument marshalling only; no batching machinery.
+    return static_cast<double>(n_nodes) * host_.sched_node_us * 0.5;
+}
+
+} // namespace exec

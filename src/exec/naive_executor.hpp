@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Per-node execution baseline.
+ *
+ * Models the default execution mode of frameworks like PyTorch on
+ * dynamic nets (Section II): every operation node launches its own
+ * kernel, so small tensors leave the SMs underutilized and launch
+ * overhead dominates short-lived kernels.
+ */
+#pragma once
+
+#include "exec/executor.hpp"
+
+namespace exec {
+
+/** One kernel per node, in topological order. */
+class NaiveExecutor : public Executor
+{
+  public:
+    using Executor::Executor;
+
+    const char* name() const override { return "Naive"; }
+
+  protected:
+    std::vector<std::vector<graph::NodeId>>
+    scheduleForward(graph::ComputationGraph& cg,
+                    const std::vector<bool>& live) override;
+
+    double scheduleOverheadUs(std::size_t n_nodes,
+                              std::size_t n_groups) const override;
+};
+
+} // namespace exec

@@ -1,0 +1,28 @@
+#include "gpusim/device.hpp"
+
+namespace gpusim {
+
+Device::Device(DeviceSpec spec, std::size_t pool_floats)
+    : spec_(spec), memory_(pool_floats)
+{
+}
+
+double
+Device::launchKernel(const KernelCost& cost)
+{
+    const double duration = spec_.kernel_launch_us +
+                            kernelBodyUs(spec_, cost);
+    busy_us_ += duration;
+    ++launches_;
+    return duration;
+}
+
+void
+Device::resetStats()
+{
+    busy_us_ = 0.0;
+    launches_ = 0;
+    traffic_.reset();
+}
+
+} // namespace gpusim

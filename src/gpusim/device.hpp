@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The simulated GPU: spec + memory pool + launch/time accounting.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_memory.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace gpusim {
+
+/**
+ * A simulated GPU. Executors launch kernels against it; each launch
+ * charges the fixed launch overhead plus the roofline body duration
+ * and records DRAM traffic.
+ *
+ * The device keeps a single busy-time accumulator. Host/device
+ * overlap (the VPPS asynchrony optimization) is modeled one level up
+ * by the pipeline simulator, which composes per-batch CPU and GPU
+ * durations.
+ */
+class Device
+{
+  public:
+    /** Create a device with the given spec and pool size in floats. */
+    Device(DeviceSpec spec, std::size_t pool_floats);
+
+    const DeviceSpec& spec() const { return spec_; }
+    DeviceMemory& memory() { return memory_; }
+    const DeviceMemory& memory() const { return memory_; }
+    TrafficStats& traffic() { return traffic_; }
+    const TrafficStats& traffic() const { return traffic_; }
+
+    /**
+     * Launch a kernel: charges launch overhead + body duration, and
+     * records the cost's DRAM traffic under @p load_space /
+     * @p store_space (use addTraffic() directly for mixed-space
+     * kernels and pass zero byte counts here).
+     *
+     * @return the kernel duration (including launch overhead) in us.
+     */
+    double launchKernel(const KernelCost& cost);
+
+    /** Charge GPU busy time without a launch (persistent kernels). */
+    void chargeTime(double us) { busy_us_ += us; }
+
+    /** Record DRAM traffic without timing (timing charged elsewhere). */
+    void
+    addLoad(MemSpace space, double bytes)
+    {
+        traffic_.addLoad(space, bytes);
+    }
+
+    void
+    addStore(MemSpace space, double bytes)
+    {
+        traffic_.addStore(space, bytes);
+    }
+
+    /** Total accumulated GPU busy time in microseconds. */
+    double busyUs() const { return busy_us_; }
+
+    /** Number of kernel launches so far. */
+    std::uint64_t numLaunches() const { return launches_; }
+
+    /** Reset time/launch/traffic statistics (not memory contents). */
+    void resetStats();
+
+    /**
+     * Functional mode: when true (default) kernels compute real
+     * float results; when false they only charge time and traffic
+     * (timing-only fast-forward used by the throughput benches --
+     * simulated durations are identical either way).
+     */
+    void
+    setFunctional(bool functional)
+    {
+        functional_ = functional;
+        memory_.setZeroFill(functional);
+    }
+    bool functional() const { return functional_; }
+
+  private:
+    DeviceSpec spec_;
+    DeviceMemory memory_;
+    TrafficStats traffic_;
+    double busy_us_ = 0.0;
+    std::uint64_t launches_ = 0;
+    bool functional_ = true;
+};
+
+} // namespace gpusim

@@ -1,0 +1,17 @@
+#include "gpusim/device_spec.hpp"
+
+#include <cmath>
+
+namespace gpusim {
+
+double
+HostSpec::workingSetFactor(std::size_t live_nodes) const
+{
+    if (live_nodes <= static_cast<std::size_t>(cache_friendly_nodes))
+        return 1.0;
+    const double doublings =
+        std::log2(static_cast<double>(live_nodes) / cache_friendly_nodes);
+    return 1.0 + cache_degradation_per_doubling * doublings;
+}
+
+} // namespace gpusim

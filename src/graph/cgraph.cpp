@@ -1,0 +1,71 @@
+#include "graph/cgraph.hpp"
+
+#include "common/logging.hpp"
+
+namespace graph {
+
+NodeId
+ComputationGraph::addNode(Node node)
+{
+    for (NodeId arg : node.args) {
+        if (arg >= nodes_.size())
+            common::panic("ComputationGraph::addNode: forward reference to ",
+                          arg);
+    }
+    nodes_.push_back(std::move(node));
+    input_data_.emplace_back();
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Node&
+ComputationGraph::node(NodeId id)
+{
+    if (id >= nodes_.size())
+        common::panic("ComputationGraph::node: bad id ", id);
+    return nodes_[id];
+}
+
+const Node&
+ComputationGraph::node(NodeId id) const
+{
+    if (id >= nodes_.size())
+        common::panic("ComputationGraph::node: bad id ", id);
+    return nodes_[id];
+}
+
+void
+ComputationGraph::clear()
+{
+    nodes_.clear();
+    input_data_.clear();
+}
+
+NodeId
+ComputationGraph::addInput(std::vector<float> values)
+{
+    Node n;
+    n.op = OpType::Input;
+    n.shape = tensor::Shape(static_cast<std::uint32_t>(values.size()));
+    const NodeId id = addNode(std::move(n));
+    input_data_[id] = std::move(values);
+    return id;
+}
+
+const std::vector<float>&
+ComputationGraph::inputData(NodeId id) const
+{
+    if (id >= input_data_.size())
+        common::panic("ComputationGraph::inputData: bad id ", id);
+    return input_data_[id];
+}
+
+double
+ComputationGraph::totalInputBytes() const
+{
+    double total = 0.0;
+    for (const auto& v : input_data_)
+        total += 4.0 * static_cast<double>(v.size());
+    return total;
+}
+
+} // namespace graph

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The per-batch computation graph container.
+ *
+ * A ComputationGraph is rebuilt for every training input (or batch of
+ * inputs, as one super-graph whose losses are summed -- Section
+ * III-D). It owns the nodes plus the host-side staging copies of the
+ * Input leaves' data.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/model.hpp"
+#include "graph/node.hpp"
+
+namespace graph {
+
+/** A dynamically constructed DAG of operations for one batch. */
+class ComputationGraph
+{
+  public:
+    /** Append a node; validates argument ids. */
+    NodeId addNode(Node node);
+
+    Node& node(NodeId id);
+    const Node& node(NodeId id) const;
+
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Remove all nodes and staged input data. */
+    void clear();
+
+    /** @return mutable node storage (executors fill placements). */
+    std::vector<Node>& nodes() { return nodes_; }
+    const std::vector<Node>& nodes() const { return nodes_; }
+
+    /**
+     * Create an Input leaf carrying @p values. The data is staged
+     * host-side and copied to the device at placement time.
+     */
+    NodeId addInput(std::vector<float> values);
+
+    /** @return staged host data for Input node @p id. */
+    const std::vector<float>& inputData(NodeId id) const;
+
+    /** @return total bytes of staged input data (PCIe transfer). */
+    double totalInputBytes() const;
+
+  private:
+    std::vector<Node> nodes_;
+    /** Parallel to nodes_: staged data for Input nodes, else empty. */
+    std::vector<std::vector<float>> input_data_;
+};
+
+} // namespace graph

@@ -1,0 +1,228 @@
+#include "graph/expr.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace graph {
+
+namespace {
+
+/** Validate that all expressions live in the same graph. */
+ComputationGraph*
+commonGraph(const std::vector<Expr>& xs)
+{
+    if (xs.empty())
+        common::fatal("expr: empty operand list");
+    ComputationGraph* cg = xs.front().cg;
+    for (const auto& x : xs)
+        if (x.cg != cg)
+            common::fatal("expr: operands from different graphs");
+    return cg;
+}
+
+Expr
+unary(OpType op, Expr x)
+{
+    Node n;
+    n.op = op;
+    n.args = {x.id};
+    n.shape = x.shape();
+    return {x.cg, x.cg->addNode(std::move(n))};
+}
+
+} // namespace
+
+Expr
+input(ComputationGraph& cg, std::vector<float> values)
+{
+    return {&cg, cg.addInput(std::move(values))};
+}
+
+Expr
+lookup(ComputationGraph& cg, const Model& model, ParamId table,
+       std::uint32_t index)
+{
+    const Parameter& p = model.param(table);
+    if (p.kind != Parameter::Kind::Lookup)
+        common::fatal("lookup: parameter '", p.name,
+                      "' is not an embedding table");
+    if (index >= p.shape.rows())
+        common::fatal("lookup: row ", index, " out of range for '",
+                      p.name, "'");
+    Node n;
+    n.op = OpType::Lookup;
+    n.param = table;
+    n.aux = index;
+    n.shape = tensor::Shape(p.shape.cols());
+    return {&cg, cg.addNode(std::move(n))};
+}
+
+Expr
+parameter(ComputationGraph& cg, const Model& model, ParamId bias)
+{
+    const Parameter& p = model.param(bias);
+    if (p.kind != Parameter::Kind::Bias)
+        common::fatal("parameter: '", p.name, "' is not a bias vector");
+    Node n;
+    n.op = OpType::ParamVec;
+    n.param = bias;
+    n.shape = p.shape;
+    return {&cg, cg.addNode(std::move(n))};
+}
+
+Expr
+matvec(const Model& model, ParamId weight, Expr x)
+{
+    const Parameter& p = model.param(weight);
+    if (p.kind != Parameter::Kind::WeightMatrix)
+        common::fatal("matvec: '", p.name, "' is not a weight matrix");
+    if (!x.shape().isVector() || x.shape().rows() != p.shape.cols())
+        common::fatal("matvec: shape mismatch: ", p.name, " is ",
+                      p.shape.str(), " but operand is ", x.shape().str());
+    Node n;
+    n.op = OpType::MatVec;
+    n.param = weight;
+    n.args = {x.id};
+    n.shape = tensor::Shape(p.shape.rows());
+    return {x.cg, x.cg->addNode(std::move(n))};
+}
+
+Expr
+add(std::vector<Expr> xs)
+{
+    ComputationGraph* cg = commonGraph(xs);
+    if (xs.size() == 1)
+        return xs.front();
+    const tensor::Shape shape = xs.front().shape();
+    Node n;
+    n.op = OpType::AddN;
+    for (const auto& x : xs) {
+        if (x.shape() != shape)
+            common::fatal("add: operand shape ", x.shape().str(),
+                          " != ", shape.str());
+        n.args.push_back(x.id);
+    }
+    n.shape = shape;
+    return {cg, cg->addNode(std::move(n))};
+}
+
+Expr
+operator+(Expr a, Expr b)
+{
+    return add({a, b});
+}
+
+Expr
+cmult(Expr a, Expr b)
+{
+    if (a.shape() != b.shape())
+        common::fatal("cmult: shape mismatch ", a.shape().str(), " vs ",
+                      b.shape().str());
+    if (a.cg != b.cg)
+        common::fatal("cmult: operands from different graphs");
+    Node n;
+    n.op = OpType::CwiseMult;
+    n.args = {a.id, b.id};
+    n.shape = a.shape();
+    return {a.cg, a.cg->addNode(std::move(n))};
+}
+
+Expr
+tanh(Expr x)
+{
+    return unary(OpType::Tanh, x);
+}
+
+Expr
+sigmoid(Expr x)
+{
+    return unary(OpType::Sigmoid, x);
+}
+
+Expr
+relu(Expr x)
+{
+    return unary(OpType::Relu, x);
+}
+
+Expr
+scale(Expr x, float factor)
+{
+    Node n;
+    n.op = OpType::Scale;
+    n.args = {x.id};
+    n.shape = x.shape();
+    // The constant travels in the aux field as raw float bits, the
+    // same way the specialized kernel would bake it in.
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(factor));
+    std::memcpy(&bits, &factor, sizeof(bits));
+    n.aux = bits;
+    return {x.cg, x.cg->addNode(std::move(n))};
+}
+
+Expr
+average(std::vector<Expr> xs)
+{
+    const float inv = 1.0f / static_cast<float>(xs.size());
+    return scale(add(std::move(xs)), inv);
+}
+
+Expr
+slice(Expr x, std::uint32_t begin, std::uint32_t len)
+{
+    if (!x.shape().isVector() || begin + len > x.shape().rows())
+        common::fatal("slice: [", begin, ", ", begin + len,
+                      ") out of range for ", x.shape().str());
+    Node n;
+    n.op = OpType::Slice;
+    n.args = {x.id};
+    n.aux = begin;
+    n.shape = tensor::Shape(len);
+    return {x.cg, x.cg->addNode(std::move(n))};
+}
+
+Expr
+concat(std::vector<Expr> xs)
+{
+    ComputationGraph* cg = commonGraph(xs);
+    std::uint32_t total = 0;
+    Node n;
+    n.op = OpType::Concat;
+    for (const auto& x : xs) {
+        if (!x.shape().isVector())
+            common::fatal("concat: operands must be vectors");
+        total += x.shape().rows();
+        n.args.push_back(x.id);
+    }
+    n.shape = tensor::Shape(total);
+    return {cg, cg->addNode(std::move(n))};
+}
+
+Expr
+pickNegLogSoftmax(Expr logits, std::uint32_t label)
+{
+    if (!logits.shape().isVector())
+        common::fatal("pickNegLogSoftmax: logits must be a vector");
+    if (label >= logits.shape().rows())
+        common::fatal("pickNegLogSoftmax: label ", label,
+                      " out of range for ", logits.shape().str());
+    Node n;
+    n.op = OpType::PickNLS;
+    n.args = {logits.id};
+    n.aux = label;
+    n.shape = tensor::Shape(1);
+    return {logits.cg, logits.cg->addNode(std::move(n))};
+}
+
+Expr
+sumLosses(std::vector<Expr> losses)
+{
+    for (const auto& l : losses)
+        if (!l.shape().isScalar())
+            common::fatal("sumLosses: operands must be scalar losses");
+    return add(std::move(losses));
+}
+
+} // namespace graph

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Expression-builder API over ComputationGraph.
+ *
+ * Mirrors DyNet's C++ front-end: model code composes Expr values and
+ * the graph is built on the fly, one fresh graph per input. All
+ * builders shape-check eagerly and fatal() on user mistakes.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/cgraph.hpp"
+#include "graph/model.hpp"
+
+namespace graph {
+
+/** A handle to one node of a computation graph. */
+struct Expr
+{
+    ComputationGraph* cg = nullptr;
+    NodeId id = 0;
+
+    /** @return the node's output shape. */
+    const tensor::Shape& shape() const { return cg->node(id).shape; }
+};
+
+/** Create an Input leaf from host data. */
+Expr input(ComputationGraph& cg, std::vector<float> values);
+
+/** Create a Lookup leaf: row @p index of embedding table @p table. */
+Expr lookup(ComputationGraph& cg, const Model& model, ParamId table,
+            std::uint32_t index);
+
+/** Create a ParamVec leaf for bias parameter @p bias. */
+Expr parameter(ComputationGraph& cg, const Model& model, ParamId bias);
+
+/** W * x against weight matrix @p weight. */
+Expr matvec(const Model& model, ParamId weight, Expr x);
+
+/** Element-wise sum of the given same-shape expressions. */
+Expr add(std::vector<Expr> xs);
+
+/** Binary element-wise sum. */
+Expr operator+(Expr a, Expr b);
+
+/** Element-wise product. */
+Expr cmult(Expr a, Expr b);
+
+Expr tanh(Expr x);
+Expr sigmoid(Expr x);
+Expr relu(Expr x);
+
+/** Element-wise multiplication by a constant: factor * x. */
+Expr scale(Expr x, float factor);
+
+/** Arithmetic mean of same-shape vectors: add() then scale(1/k). */
+Expr average(std::vector<Expr> xs);
+
+/** Contiguous sub-vector [begin, begin + len). */
+Expr slice(Expr x, std::uint32_t begin, std::uint32_t len);
+
+/** Concatenation of vectors. */
+Expr concat(std::vector<Expr> xs);
+
+/** Scalar loss: -log softmax(logits)[label]. */
+Expr pickNegLogSoftmax(Expr logits, std::uint32_t label);
+
+/** Sum of scalar losses (the super-graph aggregation, Sec III-D). */
+Expr sumLosses(std::vector<Expr> losses);
+
+} // namespace graph

@@ -1,0 +1,51 @@
+#include "graph/level_sort.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace graph {
+
+std::vector<std::vector<NodeId>>
+computeLevels(ComputationGraph& cg)
+{
+    auto& nodes = cg.nodes();
+    std::int32_t max_level = -1;
+    // Nodes are stored in construction order, which is already a
+    // topological order (addNode rejects forward references), so a
+    // single pass suffices.
+    for (auto& n : nodes) {
+        std::int32_t level = 0;
+        for (NodeId arg : n.args)
+            level = std::max(level, nodes[arg].level + 1);
+        n.level = level;
+        max_level = std::max(max_level, level);
+    }
+    std::vector<std::vector<NodeId>> levels(
+        static_cast<std::size_t>(max_level + 1));
+    for (NodeId id = 0; id < nodes.size(); ++id)
+        levels[static_cast<std::size_t>(nodes[id].level)].push_back(id);
+    return levels;
+}
+
+std::vector<bool>
+reachableFrom(const ComputationGraph& cg, NodeId root)
+{
+    const auto& nodes = cg.nodes();
+    if (root >= nodes.size())
+        common::panic("reachableFrom: bad root ", root);
+    std::vector<bool> live(nodes.size(), false);
+    std::vector<NodeId> stack{root};
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        if (live[id])
+            continue;
+        live[id] = true;
+        for (NodeId arg : nodes[id].args)
+            stack.push_back(arg);
+    }
+    return live;
+}
+
+} // namespace graph

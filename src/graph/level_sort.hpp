@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Depth-based level sort of a computation graph (Section III-B1).
+ *
+ * Nodes are sorted by their maximum depth from the leaves; nodes
+ * within a level are mutually independent and may execute
+ * concurrently. Both the VPPS script generator and the depth-based
+ * batching baseline start from this order.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/cgraph.hpp"
+
+namespace graph {
+
+/**
+ * Compute node levels (max distance from a leaf) and store them in
+ * each node's @c level field.
+ *
+ * @return the levels: levels[l] lists the node ids at level l, in
+ * node-id order (deterministic).
+ */
+std::vector<std::vector<NodeId>> computeLevels(ComputationGraph& cg);
+
+/**
+ * @return the node ids reachable from (and including) @p root via
+ * argument edges -- the live subgraph that actually needs executing
+ * for a given loss expression.
+ */
+std::vector<bool> reachableFrom(const ComputationGraph& cg, NodeId root);
+
+} // namespace graph

@@ -1,0 +1,57 @@
+#include "graph/node.hpp"
+
+namespace graph {
+
+const char*
+opName(OpType op)
+{
+    switch (op) {
+      case OpType::Input: return "input";
+      case OpType::Lookup: return "lookup";
+      case OpType::ParamVec: return "param_vec";
+      case OpType::MatVec: return "matvec";
+      case OpType::AddN: return "add_n";
+      case OpType::CwiseMult: return "cwise_mult";
+      case OpType::Tanh: return "tanh";
+      case OpType::Sigmoid: return "sigmoid";
+      case OpType::Relu: return "relu";
+      case OpType::Scale: return "scale";
+      case OpType::Slice: return "slice";
+      case OpType::Concat: return "concat";
+      case OpType::PickNLS: return "pick_nls";
+      default: return "unknown";
+    }
+}
+
+bool
+opNeedsGrad(OpType op)
+{
+    return op != OpType::Input;
+}
+
+std::uint64_t
+batchSignature(const Node& node)
+{
+    // FNV-1a style combine over the fields that determine kernel
+    // identity for batching purposes.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(node.op));
+    mix(node.shape.rows());
+    mix(node.shape.cols());
+    mix(static_cast<std::uint64_t>(node.args.size()));
+    // Parameter identity matters: only matvecs against the *same*
+    // weight matrix fold into one GEMM.
+    mix(node.param);
+    // The slice offset and the scale constant are part of the kernel
+    // (compile-time constants in DyNet's implementation); lookup rows
+    // and gold labels are per-instance data and do not break batching.
+    if (node.op == OpType::Slice || node.op == OpType::Scale)
+        mix(node.aux);
+    return h;
+}
+
+} // namespace graph

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Computation-graph node definitions.
+ *
+ * A dynamic net builds a fresh directed acyclic graph per input
+ * (Section II): nodes are operations, edges carry tensors. The op set
+ * below covers everything the paper's six benchmark models need
+ * (LSTM/Tree-LSTM cells, taggers, TDNNs, recursive nets) plus the
+ * loss-aggregation super-graph of Section III-D.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_memory.hpp"
+#include "tensor/shape.hpp"
+
+namespace graph {
+
+using NodeId = std::uint32_t;
+using ParamId = std::uint32_t;
+
+/** Sentinel meaning "this node references no parameter". */
+constexpr ParamId kNoParam = 0xFFFFFFFFu;
+
+/** Operation performed by a node. */
+enum class OpType : std::uint8_t
+{
+    Input,      //!< leaf: user-supplied data vector (no gradient)
+    Lookup,     //!< leaf: one row of an embedding table (aux = row)
+    ParamVec,   //!< leaf: a parameter vector (bias), aliases storage
+    MatVec,     //!< W * x where W is the node's weight-matrix param
+    AddN,       //!< element-wise sum of the argument vectors
+    CwiseMult,  //!< element-wise product of two vectors
+    Tanh,       //!< element-wise tanh
+    Sigmoid,    //!< element-wise logistic
+    Relu,       //!< element-wise rectifier
+    Scale,      //!< aux (as float bits) * input, element-wise
+    Slice,      //!< contiguous sub-vector [aux, aux + len)
+    Concat,     //!< concatenation of the argument vectors
+    PickNLS,    //!< pickneglogsoftmax(logits, aux = gold label)
+    NumOps
+};
+
+/** @return a short mnemonic for the op (diagnostics, codegen). */
+const char* opName(OpType op);
+
+/** @return true for ops whose output is a trainable-path tensor that
+ *  requires a gradient buffer. Input nodes do not. */
+bool opNeedsGrad(OpType op);
+
+/** One node of a computation graph. */
+struct Node
+{
+    OpType op = OpType::Input;
+
+    /** Argument node ids, in operand order. */
+    std::vector<NodeId> args;
+
+    /** Output shape. */
+    tensor::Shape shape;
+
+    /** Referenced parameter (MatVec weight, Lookup table, ParamVec). */
+    ParamId param = kNoParam;
+
+    /** Op-specific immediate: lookup row, slice begin, gold label. */
+    std::uint32_t aux = 0;
+
+    /** Maximum distance from a leaf; filled by computeLevels(). */
+    std::int32_t level = -1;
+
+    /** @name Runtime placement (filled by the executors)
+     *  @{ */
+    gpusim::DeviceMemory::Offset fwd = gpusim::DeviceMemory::kNullOffset;
+    gpusim::DeviceMemory::Offset grad = gpusim::DeviceMemory::kNullOffset;
+    /** Extra buffer: softmax probabilities for PickNLS. */
+    gpusim::DeviceMemory::Offset aux_mem =
+        gpusim::DeviceMemory::kNullOffset;
+    /** @} */
+};
+
+/**
+ * Batching signature: two nodes with equal signatures perform the
+ * same operation on identically shaped operands (and, for MatVec, the
+ * same weight matrix), so the dynamic-batching baselines may merge
+ * them into one kernel (Section II, "state-of-the-art work").
+ */
+std::uint64_t batchSignature(const Node& node);
+
+} // namespace graph

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Common interface of the paper's six benchmark applications
+ * (Sections IV-A and IV-E).
+ *
+ * Every benchmark owns its parameters (a graph::Model) and knows how
+ * to build the loss expression for one dataset item. The training
+ * harnesses build per-batch super-graphs by summing per-item losses
+ * (Section III-D) regardless of the concrete application.
+ */
+#pragma once
+
+#include "graph/expr.hpp"
+
+namespace models {
+
+/** A dynamic-net benchmark application. */
+class BenchmarkModel
+{
+  public:
+    virtual ~BenchmarkModel() = default;
+
+    BenchmarkModel(const BenchmarkModel&) = delete;
+    BenchmarkModel& operator=(const BenchmarkModel&) = delete;
+
+    /** @return a short name ("Tree-LSTM", "BiLSTM", ...). */
+    virtual const char* name() const = 0;
+
+    /**
+     * Build the computation subgraph for dataset item @p index in
+     * @p cg and return its scalar loss expression.
+     */
+    virtual graph::Expr buildLoss(graph::ComputationGraph& cg,
+                                  std::size_t index) = 0;
+
+    /** @return the number of items in the backing dataset. */
+    virtual std::size_t datasetSize() const = 0;
+
+    graph::Model& model() { return model_; }
+    const graph::Model& model() const { return model_; }
+
+  protected:
+    BenchmarkModel() = default;
+
+    graph::Model model_;
+};
+
+} // namespace models

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bi-directional GRU tagger: structurally the BiLSTM tagger with the
+ * cell swapped for a GRU.
+ *
+ * Exists to demonstrate (and test) the paper's portability claim
+ * about RNN variations: swapping the cell changes the parameter set
+ * and graph shape, yet VPPS needs no kernel re-engineering. Used by
+ * the extension bench `ext_bigru_tagger`.
+ */
+#pragma once
+
+#include "data/ner_corpus.hpp"
+#include "gpusim/device.hpp"
+#include "models/benchmark_model.hpp"
+#include "models/gru.hpp"
+
+namespace models {
+
+/** BiGRU tagger. */
+class BiGruTagger : public BenchmarkModel
+{
+  public:
+    BiGruTagger(const data::NerCorpus& corpus, const data::Vocab& vocab,
+                std::uint32_t embed_dim, std::uint32_t hidden_dim,
+                std::uint32_t mlp_dim, gpusim::Device& device,
+                common::Rng& rng);
+
+    const char* name() const override { return "BiGRU"; }
+
+    graph::Expr buildLoss(graph::ComputationGraph& cg,
+                          std::size_t index) override;
+
+    std::size_t datasetSize() const override { return corpus_.size(); }
+
+  private:
+    const data::NerCorpus& corpus_;
+
+    graph::ParamId embed_;
+    GruBuilder fwd_;
+    GruBuilder bwd_;
+    graph::ParamId w_mlp_;
+    graph::ParamId b_mlp_;
+    graph::ParamId w_tag_;
+    graph::ParamId b_tag_;
+};
+
+} // namespace models

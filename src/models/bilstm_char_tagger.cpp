@@ -1,0 +1,93 @@
+#include "models/bilstm_char_tagger.hpp"
+
+#include "common/logging.hpp"
+
+namespace models {
+
+using namespace graph;
+
+BiLstmCharTagger::BiLstmCharTagger(const data::NerCorpus& corpus,
+                                   const data::Vocab& vocab,
+                                   std::uint32_t embed_dim,
+                                   std::uint32_t hidden_dim,
+                                   std::uint32_t mlp_dim,
+                                   std::uint32_t char_embed_dim,
+                                   gpusim::Device& device,
+                                   common::Rng& rng)
+    : corpus_(corpus), vocab_(vocab),
+      char_fwd_(model_, "char_fwd", char_embed_dim, embed_dim / 2),
+      char_bwd_(model_, "char_bwd", char_embed_dim, embed_dim / 2),
+      fwd_(model_, "fwd", embed_dim, hidden_dim),
+      bwd_(model_, "bwd", embed_dim, hidden_dim)
+{
+    if (embed_dim % 2 != 0)
+        common::fatal("BiLstmCharTagger: embed_dim must be even");
+    const auto vs = static_cast<std::uint32_t>(vocab.size());
+    embed_ = model_.addLookup("embed", vs, embed_dim);
+    char_embed_ = model_.addLookup("char_embed", data::Vocab::kAlphabet,
+                                   char_embed_dim);
+    w_mlp_ = model_.addWeightMatrix("W_mlp", mlp_dim, 2 * hidden_dim);
+    b_mlp_ = model_.addBias("b_mlp", mlp_dim);
+    w_tag_ = model_.addWeightMatrix("W_tag", data::NerCorpus::kNumTags,
+                                    mlp_dim);
+    b_tag_ = model_.addBias("b_tag", data::NerCorpus::kNumTags);
+    model_.allocate(device, rng);
+}
+
+Expr
+BiLstmCharTagger::embedWord(ComputationGraph& cg, std::uint32_t word)
+{
+    if (!vocab_.isRare(word))
+        return lookup(cg, model_, embed_, word);
+
+    // Rare word: run the character BiLSTM over its spelling and use
+    // the concatenated final states as the embedding.
+    const auto chars = vocab_.chars(word);
+    LstmBuilder::State f = char_fwd_.start(cg);
+    for (std::uint32_t c : chars)
+        f = char_fwd_.next(model_, f,
+                           lookup(cg, model_, char_embed_, c));
+    LstmBuilder::State b = char_bwd_.start(cg);
+    for (auto it = chars.rbegin(); it != chars.rend(); ++it)
+        b = char_bwd_.next(model_, b,
+                           lookup(cg, model_, char_embed_, *it));
+    return concat({f.h, b.h});
+}
+
+Expr
+BiLstmCharTagger::buildLoss(ComputationGraph& cg, std::size_t index)
+{
+    const data::TaggedSentence& s = corpus_.sentence(index);
+    const std::size_t n = s.length();
+
+    std::vector<Expr> xs;
+    xs.reserve(n);
+    for (std::uint32_t w : s.words)
+        xs.push_back(embedWord(cg, w));
+
+    std::vector<Expr> hf(n), hb(n);
+    LstmBuilder::State f = fwd_.start(cg);
+    for (std::size_t i = 0; i < n; ++i) {
+        f = fwd_.next(model_, f, xs[i]);
+        hf[i] = f.h;
+    }
+    LstmBuilder::State b = bwd_.start(cg);
+    for (std::size_t i = n; i-- > 0;) {
+        b = bwd_.next(model_, b, xs[i]);
+        hb[i] = b.h;
+    }
+
+    std::vector<Expr> losses;
+    losses.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Expr z = concat({hf[i], hb[i]});
+        Expr m = graph::tanh(matvec(model_, w_mlp_, z) +
+                             parameter(cg, model_, b_mlp_));
+        Expr logits = matvec(model_, w_tag_, m) +
+                      parameter(cg, model_, b_tag_);
+        losses.push_back(pickNegLogSoftmax(logits, s.tags[i]));
+    }
+    return sumLosses(std::move(losses));
+}
+
+} // namespace models

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bi-directional LSTM Named Entity Tagger (based on [25]).
+ *
+ * A forward and a backward LSTM run over the word embeddings; each
+ * word's two hidden states are concatenated and passed through an
+ * MLP to predict its tag. The sentence length varies per input,
+ * making the computation graph dynamic.
+ */
+#pragma once
+
+#include "data/ner_corpus.hpp"
+#include "gpusim/device.hpp"
+#include "models/benchmark_model.hpp"
+#include "models/lstm.hpp"
+
+namespace models {
+
+/** BiLSTM tagger. */
+class BiLstmTagger : public BenchmarkModel
+{
+  public:
+    BiLstmTagger(const data::NerCorpus& corpus, const data::Vocab& vocab,
+                 std::uint32_t embed_dim, std::uint32_t hidden_dim,
+                 std::uint32_t mlp_dim, gpusim::Device& device,
+                 common::Rng& rng);
+
+    const char* name() const override { return "BiLSTM"; }
+
+    graph::Expr buildLoss(graph::ComputationGraph& cg,
+                          std::size_t index) override;
+
+    std::size_t datasetSize() const override { return corpus_.size(); }
+
+  private:
+    const data::NerCorpus& corpus_;
+
+    graph::ParamId embed_;
+    LstmBuilder fwd_;
+    LstmBuilder bwd_;
+    graph::ParamId w_mlp_;
+    graph::ParamId b_mlp_;
+    graph::ParamId w_tag_;
+    graph::ParamId b_tag_;
+};
+
+} // namespace models

@@ -1,0 +1,41 @@
+#include "models/gru.hpp"
+
+namespace models {
+
+GruBuilder::GruBuilder(graph::Model& model, const std::string& prefix,
+                       std::uint32_t input_dim,
+                       std::uint32_t hidden_dim)
+    : input_(input_dim), hidden_(hidden_dim)
+{
+    w_ = model.addWeightMatrix(prefix + ".W", 3 * hidden_dim,
+                               input_dim);
+    u_ = model.addWeightMatrix(prefix + ".U", 3 * hidden_dim,
+                               hidden_dim);
+    b_ = model.addBias(prefix + ".b", 3 * hidden_dim);
+}
+
+graph::Expr
+GruBuilder::start(graph::ComputationGraph& cg) const
+{
+    return graph::input(cg, std::vector<float>(hidden_, 0.0f));
+}
+
+graph::Expr
+GruBuilder::next(const graph::Model& model, graph::Expr h,
+                 graph::Expr x) const
+{
+    using namespace graph;
+    const std::uint32_t hd = hidden_;
+    Expr a = matvec(model, w_, x) + parameter(*x.cg, model, b_);
+    Expr uh = matvec(model, u_, h);
+    Expr r = sigmoid(slice(a, 0, hd) + slice(uh, 0, hd));
+    Expr z = sigmoid(slice(a, hd, hd) + slice(uh, hd, hd));
+    Expr n = graph::tanh(slice(a, 2 * hd, hd) +
+                         cmult(r, slice(uh, 2 * hd, hd)));
+    // h' = z*h + (1-z)*n, with (1-z) built as ones + (-1)*z.
+    Expr ones = input(*x.cg, std::vector<float>(hd, 1.0f));
+    Expr one_minus_z = ones + scale(z, -1.0f);
+    return cmult(z, h) + cmult(one_minus_z, n);
+}
+
+} // namespace models

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GRU cell builder (Cho et al.; the paper's [8] variant).
+ *
+ * The paper's motivation section singles GRUs out: "even if the
+ * operation set is predictable, Persistent RNN has to be specifically
+ * re-crafted by an expert to be applicable for every RNN variation
+ * (for example, as in GRU)". Under VPPS no re-crafting happens --
+ * this builder just emits different graph nodes, and the same
+ * specialization/scripting machinery caches its weight matrices.
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/expr.hpp"
+
+namespace models {
+
+/** Builder for a single-layer GRU. */
+class GruBuilder
+{
+  public:
+    /**
+     * Register parameters: W (3H x I input transform), U (3H x H
+     * recurrent transform), b (3H). Gate order: reset, update,
+     * candidate.
+     */
+    GruBuilder(graph::Model& model, const std::string& prefix,
+               std::uint32_t input_dim, std::uint32_t hidden_dim);
+
+    /** @return the zero initial hidden state. */
+    graph::Expr start(graph::ComputationGraph& cg) const;
+
+    /**
+     * Apply the cell:
+     *   r = sigmoid(W_r x + U_r h + b_r)
+     *   z = sigmoid(W_z x + U_z h + b_z)
+     *   n = tanh(W_n x + r * (U_n h) + b_n)
+     *   h' = z * h + (1 - z) * n
+     */
+    graph::Expr next(const graph::Model& model, graph::Expr h,
+                     graph::Expr x) const;
+
+    std::uint32_t hiddenDim() const { return hidden_; }
+
+  private:
+    graph::ParamId w_;
+    graph::ParamId u_;
+    graph::ParamId b_;
+    std::uint32_t input_;
+    std::uint32_t hidden_;
+};
+
+} // namespace models

@@ -1,0 +1,51 @@
+#include "models/rvnn.hpp"
+
+namespace models {
+
+using namespace graph;
+
+RvnnModel::RvnnModel(const data::Treebank& bank,
+                     const data::Vocab& vocab, std::uint32_t dim,
+                     gpusim::Device& device, common::Rng& rng)
+    : bank_(bank)
+{
+    const auto vs = static_cast<std::uint32_t>(vocab.size());
+    embed_ = model_.addLookup("embed", vs, dim);
+    w_leaf_ = model_.addWeightMatrix("W_leaf", dim, dim);
+    b_leaf_ = model_.addBias("b_leaf", dim);
+    w_int_ = model_.addWeightMatrix("W_int", dim, 2 * dim);
+    b_int_ = model_.addBias("b_int", dim);
+    w_s_ = model_.addWeightMatrix("W_s", data::Treebank::kNumLabels,
+                                  dim);
+    b_s_ = model_.addBias("b_s", data::Treebank::kNumLabels);
+    model_.allocate(device, rng);
+}
+
+Expr
+RvnnModel::visit(ComputationGraph& cg, const data::Tree& tree,
+                 std::int32_t node)
+{
+    const data::TreeNode& n =
+        tree.nodes[static_cast<std::size_t>(node)];
+    if (n.isLeaf()) {
+        Expr x = lookup(cg, model_, embed_, n.word);
+        return graph::tanh(matvec(model_, w_leaf_, x) +
+                           parameter(cg, model_, b_leaf_));
+    }
+    Expr l = visit(cg, tree, n.left);
+    Expr r = visit(cg, tree, n.right);
+    return graph::tanh(matvec(model_, w_int_, concat({l, r})) +
+                       parameter(cg, model_, b_int_));
+}
+
+Expr
+RvnnModel::buildLoss(ComputationGraph& cg, std::size_t index)
+{
+    const data::Tree& tree = bank_.sentence(index);
+    Expr root = visit(cg, tree, tree.root);
+    Expr logits = matvec(model_, w_s_, root) +
+                  parameter(cg, model_, b_s_);
+    return pickNegLogSoftmax(logits, tree.label);
+}
+
+} // namespace models

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Recursive Neural Network over parse trees (Socher et al. [28]).
+ *
+ * A sparser binary tree than the TD pyramid: the sentence's parse
+ * tree drives composition. Following Irsoy & Cardie [29], leaf and
+ * internal transformation weights are untied -- leaves map embeddings
+ * through W_leaf while internal nodes map the concatenated children
+ * through W_int.
+ */
+#pragma once
+
+#include "data/treebank.hpp"
+#include "gpusim/device.hpp"
+#include "models/benchmark_model.hpp"
+
+namespace models {
+
+/** Recursive NN sentiment classifier. */
+class RvnnModel : public BenchmarkModel
+{
+  public:
+    RvnnModel(const data::Treebank& bank, const data::Vocab& vocab,
+              std::uint32_t dim, gpusim::Device& device,
+              common::Rng& rng);
+
+    const char* name() const override { return "RvNN"; }
+
+    graph::Expr buildLoss(graph::ComputationGraph& cg,
+                          std::size_t index) override;
+
+    std::size_t datasetSize() const override { return bank_.size(); }
+
+  private:
+    graph::Expr visit(graph::ComputationGraph& cg,
+                      const data::Tree& tree, std::int32_t node);
+
+    const data::Treebank& bank_;
+
+    graph::ParamId embed_;
+    graph::ParamId w_leaf_;  //!< H x E leaf transform (untied)
+    graph::ParamId b_leaf_;
+    graph::ParamId w_int_;   //!< H x 2H internal transform
+    graph::ParamId b_int_;
+    graph::ParamId w_s_;
+    graph::ParamId b_s_;
+};
+
+} // namespace models

@@ -1,0 +1,71 @@
+#include "models/td_lstm.hpp"
+
+namespace models {
+
+using namespace graph;
+
+TdLstmModel::TdLstmModel(const data::Treebank& bank,
+                         const data::Vocab& vocab, std::uint32_t dim,
+                         gpusim::Device& device, common::Rng& rng)
+    : bank_(bank), dim_(dim)
+{
+    const auto vs = static_cast<std::uint32_t>(vocab.size());
+    embed_ = model_.addLookup("embed", vs, dim);
+    w_l_ = model_.addWeightMatrix("W_L", 5 * dim, dim);
+    w_r_ = model_.addWeightMatrix("W_R", 5 * dim, dim);
+    b_ = model_.addBias("b", 5 * dim);
+    w_mlp_ = model_.addWeightMatrix("W_mlp", dim, dim);
+    b_mlp_ = model_.addBias("b_mlp", dim);
+    w_s_ = model_.addWeightMatrix("W_s", data::Treebank::kNumLabels,
+                                  dim);
+    b_s_ = model_.addBias("b_s", data::Treebank::kNumLabels);
+    model_.allocate(device, rng);
+}
+
+Expr
+TdLstmModel::buildLoss(ComputationGraph& cg, std::size_t index)
+{
+    const data::Tree& tree = bank_.sentence(index);
+    const std::uint32_t h = dim_;
+
+    struct HC
+    {
+        Expr hid;
+        Expr cell;
+    };
+
+    std::vector<HC> level;
+    level.reserve(tree.words.size());
+    for (std::uint32_t w : tree.words) {
+        level.push_back({lookup(cg, model_, embed_, w),
+                         input(cg, std::vector<float>(h, 0.0f))});
+    }
+
+    while (level.size() > 1) {
+        std::vector<HC> next;
+        next.reserve(level.size() - 1);
+        for (std::size_t i = 0; i + 1 < level.size(); ++i) {
+            const HC& l = level[i];
+            const HC& r = level[i + 1];
+            Expr gates = add({matvec(model_, w_l_, l.hid),
+                              matvec(model_, w_r_, r.hid),
+                              parameter(cg, model_, b_)});
+            Expr in = sigmoid(slice(gates, 0, h));
+            Expr fl = sigmoid(slice(gates, h, h));
+            Expr fr = sigmoid(slice(gates, 2 * h, h));
+            Expr o = sigmoid(slice(gates, 3 * h, h));
+            Expr u = graph::tanh(slice(gates, 4 * h, h));
+            Expr c = add({cmult(in, u), cmult(fl, l.cell),
+                          cmult(fr, r.cell)});
+            next.push_back({cmult(o, graph::tanh(c)), c});
+        }
+        level = std::move(next);
+    }
+
+    Expr m = graph::tanh(matvec(model_, w_mlp_, level.front().hid) +
+                         parameter(cg, model_, b_mlp_));
+    Expr logits = matvec(model_, w_s_, m) + parameter(cg, model_, b_s_);
+    return pickNegLogSoftmax(logits, tree.label);
+}
+
+} // namespace models

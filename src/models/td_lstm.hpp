@@ -1,0 +1,47 @@
+/**
+ * @file
+ * TD-LSTM: the TD-RNN pyramid with the vanilla-RNN composition
+ * replaced by an LSTM-style gated cell (Section IV-E, after [8]).
+ *
+ * Each combination of two adjacent (h, c) states produces gates from
+ * recurrent left/right transforms -- input, left-forget, right-forget,
+ * output, and candidate -- so cell state flows up the pyramid.
+ */
+#pragma once
+
+#include "data/treebank.hpp"
+#include "gpusim/device.hpp"
+#include "models/benchmark_model.hpp"
+
+namespace models {
+
+/** Gated (LSTM-style) pyramid composition model. */
+class TdLstmModel : public BenchmarkModel
+{
+  public:
+    TdLstmModel(const data::Treebank& bank, const data::Vocab& vocab,
+                std::uint32_t dim, gpusim::Device& device,
+                common::Rng& rng);
+
+    const char* name() const override { return "TD-LSTM"; }
+
+    graph::Expr buildLoss(graph::ComputationGraph& cg,
+                          std::size_t index) override;
+
+    std::size_t datasetSize() const override { return bank_.size(); }
+
+  private:
+    const data::Treebank& bank_;
+    std::uint32_t dim_;
+
+    graph::ParamId embed_;
+    graph::ParamId w_l_; //!< 5H x H left transform (i, fl, fr, o, u)
+    graph::ParamId w_r_; //!< 5H x H right transform
+    graph::ParamId b_;
+    graph::ParamId w_mlp_;
+    graph::ParamId b_mlp_;
+    graph::ParamId w_s_;
+    graph::ParamId b_s_;
+};
+
+} // namespace models

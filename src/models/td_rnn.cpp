@@ -1,0 +1,59 @@
+#include "models/td_rnn.hpp"
+
+namespace models {
+
+using namespace graph;
+
+TdRnnModel::TdRnnModel(const data::Treebank& bank,
+                       const data::Vocab& vocab, std::uint32_t dim,
+                       gpusim::Device& device, common::Rng& rng)
+    : bank_(bank)
+{
+    const auto vs = static_cast<std::uint32_t>(vocab.size());
+    embed_ = model_.addLookup("embed", vs, dim);
+    // W_LR = [W_L | W_R] applied to concat(e_i, e_{i+1}):
+    // mathematically identical to W_L e_i + W_R e_{i+1} but one
+    // matrix with 2*dim-long rows, which is how the row length (and
+    // with it the JIT compilation cost, Table II) of this model ends
+    // up twice the hidden size.
+    w_lr_ = model_.addWeightMatrix("W_LR", dim, 2 * dim);
+    b_ = model_.addBias("b", dim);
+    w_mlp_ = model_.addWeightMatrix("W_mlp", dim, dim);
+    b_mlp_ = model_.addBias("b_mlp", dim);
+    w_s_ = model_.addWeightMatrix("W_s", data::Treebank::kNumLabels,
+                                  dim);
+    b_s_ = model_.addBias("b_s", data::Treebank::kNumLabels);
+    model_.allocate(device, rng);
+}
+
+Expr
+TdRnnModel::buildLoss(ComputationGraph& cg, std::size_t index)
+{
+    const data::Tree& tree = bank_.sentence(index);
+
+    std::vector<Expr> level;
+    level.reserve(tree.words.size());
+    for (std::uint32_t w : tree.words)
+        level.push_back(lookup(cg, model_, embed_, w));
+
+    // Pyramid: combine adjacent embeddings until one remains, reusing
+    // the single composition function at every level.
+    while (level.size() > 1) {
+        std::vector<Expr> next;
+        next.reserve(level.size() - 1);
+        for (std::size_t i = 0; i + 1 < level.size(); ++i) {
+            Expr pair = concat({level[i], level[i + 1]});
+            next.push_back(
+                graph::tanh(matvec(model_, w_lr_, pair) +
+                            parameter(cg, model_, b_)));
+        }
+        level = std::move(next);
+    }
+
+    Expr m = graph::tanh(matvec(model_, w_mlp_, level.front()) +
+                         parameter(cg, model_, b_mlp_));
+    Expr logits = matvec(model_, w_s_, m) + parameter(cg, model_, b_s_);
+    return pickNegLogSoftmax(logits, tree.label);
+}
+
+} // namespace models

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Time-Delay Neural Network sentiment model (Section IV-E, after
+ * Waibel et al. [26] / Peddinti et al. [27]).
+ *
+ * Adjacent embeddings are iteratively combined -- multiplied by
+ * recurrent left-hand-side and right-hand-side weights and added --
+ * forming a pyramid that halves-by-one each level until a single
+ * vector remains, which feeds an MLP sentiment head. A single
+ * composition function is reused at every level (Socher et al. [24]),
+ * making W_L/W_R highly recurrent.
+ */
+#pragma once
+
+#include "data/treebank.hpp"
+#include "gpusim/device.hpp"
+#include "models/benchmark_model.hpp"
+
+namespace models {
+
+/** TDNN-style pyramid composition model. */
+class TdRnnModel : public BenchmarkModel
+{
+  public:
+    TdRnnModel(const data::Treebank& bank, const data::Vocab& vocab,
+               std::uint32_t dim, gpusim::Device& device,
+               common::Rng& rng);
+
+    const char* name() const override { return "TD-RNN"; }
+
+    graph::Expr buildLoss(graph::ComputationGraph& cg,
+                          std::size_t index) override;
+
+    std::size_t datasetSize() const override { return bank_.size(); }
+
+  private:
+    const data::Treebank& bank_;
+
+    graph::ParamId embed_;
+    graph::ParamId w_lr_; //!< [W_L | W_R], dim x 2*dim
+    graph::ParamId b_;
+    graph::ParamId w_mlp_;
+    graph::ParamId b_mlp_;
+    graph::ParamId w_s_;
+    graph::ParamId b_s_;
+};
+
+} // namespace models

@@ -1,0 +1,97 @@
+#include "models/tree_lstm.hpp"
+
+namespace models {
+
+using namespace graph;
+
+TreeLstmModel::TreeLstmModel(const data::Treebank& bank,
+                             const data::Vocab& vocab,
+                             std::uint32_t embed_dim,
+                             std::uint32_t hidden_dim,
+                             gpusim::Device& device, common::Rng& rng)
+    : bank_(bank), hidden_(hidden_dim)
+{
+    const auto vs = static_cast<std::uint32_t>(vocab.size());
+    embed_ = model_.addLookup("embed", vs, embed_dim);
+
+    w_leaf_i_ = model_.addWeightMatrix("W_leaf_i", hidden_dim,
+                                       embed_dim);
+    w_leaf_o_ = model_.addWeightMatrix("W_leaf_o", hidden_dim,
+                                       embed_dim);
+    w_leaf_u_ = model_.addWeightMatrix("W_leaf_u", hidden_dim,
+                                       embed_dim);
+    b_leaf_ = model_.addBias("b_leaf", 3 * hidden_dim);
+
+    u_i_l_ = model_.addWeightMatrix("U_i_l", hidden_dim, hidden_dim);
+    u_i_r_ = model_.addWeightMatrix("U_i_r", hidden_dim, hidden_dim);
+    u_f_ll_ = model_.addWeightMatrix("U_f_ll", hidden_dim, hidden_dim);
+    u_f_lr_ = model_.addWeightMatrix("U_f_lr", hidden_dim, hidden_dim);
+    u_f_rl_ = model_.addWeightMatrix("U_f_rl", hidden_dim, hidden_dim);
+    u_f_rr_ = model_.addWeightMatrix("U_f_rr", hidden_dim, hidden_dim);
+    u_o_l_ = model_.addWeightMatrix("U_o_l", hidden_dim, hidden_dim);
+    u_o_r_ = model_.addWeightMatrix("U_o_r", hidden_dim, hidden_dim);
+    u_u_l_ = model_.addWeightMatrix("U_u_l", hidden_dim, hidden_dim);
+    u_u_r_ = model_.addWeightMatrix("U_u_r", hidden_dim, hidden_dim);
+    b_i_ = model_.addBias("b_i", hidden_dim);
+    b_f_ = model_.addBias("b_f", hidden_dim);
+    b_o_ = model_.addBias("b_o", hidden_dim);
+    b_u_ = model_.addBias("b_u", hidden_dim);
+
+    w_s_ = model_.addWeightMatrix("W_s", data::Treebank::kNumLabels,
+                                  hidden_dim);
+    b_s_ = model_.addBias("b_s", data::Treebank::kNumLabels);
+
+    model_.allocate(device, rng);
+}
+
+TreeLstmModel::HC
+TreeLstmModel::visit(ComputationGraph& cg, const data::Tree& tree,
+                     std::int32_t node) const
+{
+    const data::TreeNode& n =
+        tree.nodes[static_cast<std::size_t>(node)];
+    const std::uint32_t h = hidden_;
+    if (n.isLeaf()) {
+        Expr x = lookup(cg, model_, embed_, n.word);
+        Expr gates = concat({matvec(model_, w_leaf_i_, x),
+                             matvec(model_, w_leaf_o_, x),
+                             matvec(model_, w_leaf_u_, x)}) +
+                     parameter(cg, model_, b_leaf_);
+        Expr i = sigmoid(slice(gates, 0, h));
+        Expr o = sigmoid(slice(gates, h, h));
+        Expr u = graph::tanh(slice(gates, 2 * h, h));
+        Expr c = cmult(i, u);
+        return {cmult(o, graph::tanh(c)), c};
+    }
+    HC l = visit(cg, tree, n.left);
+    HC r = visit(cg, tree, n.right);
+    Expr i = sigmoid(add({matvec(model_, u_i_l_, l.h),
+                          matvec(model_, u_i_r_, r.h),
+                          parameter(cg, model_, b_i_)}));
+    Expr fl = sigmoid(add({matvec(model_, u_f_ll_, l.h),
+                           matvec(model_, u_f_lr_, r.h),
+                           parameter(cg, model_, b_f_)}));
+    Expr fr = sigmoid(add({matvec(model_, u_f_rl_, l.h),
+                           matvec(model_, u_f_rr_, r.h),
+                           parameter(cg, model_, b_f_)}));
+    Expr o = sigmoid(add({matvec(model_, u_o_l_, l.h),
+                          matvec(model_, u_o_r_, r.h),
+                          parameter(cg, model_, b_o_)}));
+    Expr u = graph::tanh(add({matvec(model_, u_u_l_, l.h),
+                              matvec(model_, u_u_r_, r.h),
+                              parameter(cg, model_, b_u_)}));
+    Expr c = add({cmult(i, u), cmult(fl, l.c), cmult(fr, r.c)});
+    return {cmult(o, graph::tanh(c)), c};
+}
+
+Expr
+TreeLstmModel::buildLoss(ComputationGraph& cg, std::size_t index)
+{
+    const data::Tree& tree = bank_.sentence(index);
+    HC root = visit(cg, tree, tree.root);
+    Expr logits = matvec(model_, w_s_, root.h) +
+                  parameter(cg, model_, b_s_);
+    return pickNegLogSoftmax(logits, tree.label);
+}
+
+} // namespace models

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tree-Structured LSTM Sentiment Analyzer (Tai et al. [5]).
+ *
+ * The paper's headline benchmark: the network's shape follows each
+ * sentence's binary parse tree, so every input induces a different
+ * computation graph. Leaves embed words through an input transform;
+ * internal nodes combine their two children with a binary Tree-LSTM
+ * cell (separate forget gates per child); the root hidden state feeds
+ * a 5-way sentiment softmax.
+ */
+#pragma once
+
+#include "data/treebank.hpp"
+#include "gpusim/device.hpp"
+#include "models/benchmark_model.hpp"
+
+namespace models {
+
+/** Binary Tree-LSTM sentiment classifier. */
+class TreeLstmModel : public BenchmarkModel
+{
+  public:
+    /**
+     * Register and allocate parameters.
+     * @param embed_dim word-embedding length
+     * @param hidden_dim LSTM hidden length
+     */
+    TreeLstmModel(const data::Treebank& bank, const data::Vocab& vocab,
+                  std::uint32_t embed_dim, std::uint32_t hidden_dim,
+                  gpusim::Device& device, common::Rng& rng);
+
+    const char* name() const override { return "Tree-LSTM"; }
+
+    graph::Expr buildLoss(graph::ComputationGraph& cg,
+                          std::size_t index) override;
+
+    std::size_t datasetSize() const override { return bank_.size(); }
+
+  private:
+    struct HC
+    {
+        graph::Expr h;
+        graph::Expr c;
+    };
+
+    HC visit(graph::ComputationGraph& cg, const data::Tree& tree,
+             std::int32_t node) const;
+
+    const data::Treebank& bank_;
+    std::uint32_t hidden_;
+
+    graph::ParamId embed_;
+    /** Leaf transforms: i, o, u gates from the word embedding. */
+    graph::ParamId w_leaf_i_, w_leaf_o_, w_leaf_u_;
+    graph::ParamId b_leaf_;
+    /** Internal composition: U matrices per (gate, child). */
+    graph::ParamId u_i_l_, u_i_r_;
+    graph::ParamId u_f_ll_, u_f_lr_, u_f_rl_, u_f_rr_;
+    graph::ParamId u_o_l_, u_o_r_;
+    graph::ParamId u_u_l_, u_u_r_;
+    graph::ParamId b_i_, b_f_, b_o_, b_u_;
+    /** Sentiment head. */
+    graph::ParamId w_s_;
+    graph::ParamId b_s_;
+};
+
+} // namespace models

@@ -1,0 +1,210 @@
+#include "tensor/host_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tensor {
+
+void
+gemv(const float* w, const float* x, float* y, std::size_t rows,
+     std::size_t cols)
+{
+    gemvRows(w, x, y, 0, rows, cols);
+}
+
+void
+gemvRows(const float* w, const float* x, float* y, std::size_t row_begin,
+         std::size_t row_end, std::size_t cols)
+{
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        const float* wr = w + r * cols;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c)
+            acc += wr[c] * x[c];
+        y[r] = acc;
+    }
+}
+
+void
+gemvTransposedAccum(const float* w, const float* dy, float* dx,
+                    std::size_t rows, std::size_t cols)
+{
+    gemvTransposedAccumRows(w, dy, dx, 0, rows, cols);
+}
+
+void
+gemvTransposedAccumRows(const float* w, const float* dy, float* dx,
+                        std::size_t row_begin, std::size_t row_end,
+                        std::size_t cols)
+{
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        const float* wr = w + r * cols;
+        const float d = dy[r];
+        for (std::size_t c = 0; c < cols; ++c)
+            dx[c] += wr[c] * d;
+    }
+}
+
+void
+outerAccum(float* dw, const float* dy, const float* x, std::size_t rows,
+           std::size_t cols)
+{
+    outerAccumRows(dw, dy, x, 0, rows, cols);
+}
+
+void
+outerAccumRows(float* dw, const float* dy, const float* x,
+               std::size_t row_begin, std::size_t row_end,
+               std::size_t cols)
+{
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        float* dwr = dw + r * cols;
+        const float d = dy[r];
+        for (std::size_t c = 0; c < cols; ++c)
+            dwr[c] += d * x[c];
+    }
+}
+
+void
+gemmAccumABt(float* c, const float* a, const float* b, std::size_t m,
+             std::size_t n, std::size_t k)
+{
+    // C[m x n] += A[m x k] * B[n x k]^T with A, B stored row-major as
+    // k columns of staged vectors laid out contiguously per vector:
+    // A holds k vectors of length m back-to-back (column i of A is
+    // a + i*m), likewise B.
+    for (std::size_t i = 0; i < k; ++i) {
+        const float* ai = a + i * m;
+        const float* bi = b + i * n;
+        for (std::size_t r = 0; r < m; ++r) {
+            float* cr = c + r * n;
+            const float ar = ai[r];
+            for (std::size_t cc = 0; cc < n; ++cc)
+                cr[cc] += ar * bi[cc];
+        }
+    }
+}
+
+void
+addN(const float* const* ins, std::size_t n_in, float* out,
+     std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < n_in; ++j)
+            acc += ins[j][i];
+        out[i] = acc;
+    }
+}
+
+void
+accum(float* out, const float* in, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] += in[i];
+}
+
+void
+cwiseMult(const float* a, const float* b, float* out, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = a[i] * b[i];
+}
+
+void
+tanhForward(const float* in, float* out, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = std::tanh(in[i]);
+}
+
+void
+tanhBackward(const float* out, const float* dout, float* din,
+             std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        din[i] += dout[i] * (1.0f - out[i] * out[i]);
+}
+
+void
+sigmoidForward(const float* in, float* out, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+}
+
+void
+sigmoidBackward(const float* out, const float* dout, float* din,
+                std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        din[i] += dout[i] * out[i] * (1.0f - out[i]);
+}
+
+void
+reluForward(const float* in, float* out, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+}
+
+void
+reluBackward(const float* out, const float* dout, float* din,
+             std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        din[i] += out[i] > 0.0f ? dout[i] : 0.0f;
+}
+
+void
+scaleForward(const float* in, float factor, float* out,
+             std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = factor * in[i];
+}
+
+void
+scaleAccum(const float* in, float factor, float* out, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] += factor * in[i];
+}
+
+float
+pickNegLogSoftmax(const float* logits, std::uint32_t label, float* probs,
+                  std::size_t len)
+{
+    const float max_logit = *std::max_element(logits, logits + len);
+    float denom = 0.0f;
+    for (std::size_t i = 0; i < len; ++i) {
+        probs[i] = std::exp(logits[i] - max_logit);
+        denom += probs[i];
+    }
+    for (std::size_t i = 0; i < len; ++i)
+        probs[i] /= denom;
+    const float p = std::max(probs[label], 1e-30f);
+    return -std::log(p);
+}
+
+void
+pickNegLogSoftmaxBackward(const float* probs, std::uint32_t label,
+                          float dloss, float* dlogits, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        const float onehot = (i == label) ? 1.0f : 0.0f;
+        dlogits[i] += dloss * (probs[i] - onehot);
+    }
+}
+
+void
+sgdUpdate(float* p, float* g, std::size_t len, float lr,
+          float weight_decay)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        p[i] -= lr * (g[i] + weight_decay * p[i]);
+        g[i] = 0.0f;
+    }
+}
+
+} // namespace tensor

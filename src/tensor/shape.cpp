@@ -1,0 +1,11 @@
+#include "tensor/shape.hpp"
+
+namespace tensor {
+
+std::string
+Shape::str() const
+{
+    return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+} // namespace tensor

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tensor shapes.
+ *
+ * The dynamic-net workloads in the paper operate on vectors and
+ * (weight) matrices, so a rank-2 shape is sufficient: vectors are
+ * shapes with cols == 1.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tensor {
+
+/** A rank-<=2 shape: rows x cols. Vectors have cols == 1. */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct a vector shape of the given length. */
+    explicit Shape(std::uint32_t rows) : rows_(rows), cols_(1) {}
+
+    /** Construct a matrix shape. */
+    Shape(std::uint32_t rows, std::uint32_t cols)
+        : rows_(rows), cols_(cols)
+    {
+    }
+
+    std::uint32_t rows() const { return rows_; }
+    std::uint32_t cols() const { return cols_; }
+
+    /** @return total number of elements. */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(rows_) * cols_;
+    }
+
+    /** @return true if this is a vector (cols == 1). */
+    bool isVector() const { return cols_ == 1; }
+
+    /** @return true if this is the scalar shape (1 x 1). */
+    bool isScalar() const { return rows_ == 1 && cols_ == 1; }
+
+    bool
+    operator==(const Shape& o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_;
+    }
+
+    bool operator!=(const Shape& o) const { return !(*this == o); }
+
+    /** @return "RxC" rendering for diagnostics. */
+    std::string str() const;
+
+  private:
+    std::uint32_t rows_ = 0;
+    std::uint32_t cols_ = 1;
+};
+
+} // namespace tensor

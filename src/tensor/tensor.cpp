@@ -1,0 +1,4 @@
+#include "tensor/tensor.hpp"
+
+// TensorRef is header-only; this translation unit exists so the build
+// file has a stable anchor for the module.

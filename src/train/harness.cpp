@@ -1,0 +1,77 @@
+#include "train/harness.hpp"
+
+#include "common/logging.hpp"
+
+namespace train {
+
+graph::Expr
+buildSuperGraph(models::BenchmarkModel& bm, graph::ComputationGraph& cg,
+                std::size_t start, std::size_t batch)
+{
+    if (batch == 0)
+        common::fatal("buildSuperGraph: batch size must be positive");
+    std::vector<graph::Expr> losses;
+    losses.reserve(batch);
+    const std::size_t n = bm.datasetSize();
+    for (std::size_t i = 0; i < batch; ++i)
+        losses.push_back(bm.buildLoss(cg, (start + i) % n));
+    return graph::sumLosses(std::move(losses));
+}
+
+ThroughputResult
+measureExecutor(exec::Executor& executor, models::BenchmarkModel& bm,
+                std::size_t num_inputs, std::size_t batch_size)
+{
+    executor.resetStats();
+    ThroughputResult r;
+    r.system = executor.name();
+    r.batch_size = batch_size;
+
+    std::size_t trained = 0;
+    while (trained < num_inputs) {
+        graph::ComputationGraph cg;
+        graph::Expr loss =
+            buildSuperGraph(bm, cg, trained, batch_size);
+        r.last_loss = executor.trainBatch(bm.model(), cg, loss);
+        trained += batch_size;
+    }
+
+    const auto& s = executor.stats();
+    r.cpu_us = s.cpu_us;
+    r.gpu_us = s.gpu_us;
+    r.launches = s.launches;
+    r.wall_us = s.totalUs();
+    r.inputs_per_sec =
+        static_cast<double>(trained) / (r.wall_us * 1e-6);
+    return r;
+}
+
+ThroughputResult
+measureVpps(vpps::Handle& handle, models::BenchmarkModel& bm,
+            std::size_t num_inputs, std::size_t batch_size)
+{
+    handle.resetStats();
+    ThroughputResult r;
+    r.system = "VPPS";
+    r.batch_size = batch_size;
+
+    std::size_t trained = 0;
+    while (trained < num_inputs) {
+        graph::ComputationGraph cg;
+        graph::Expr loss =
+            buildSuperGraph(bm, cg, trained, batch_size);
+        handle.fb(bm.model(), cg, loss);
+        trained += batch_size;
+    }
+    r.last_loss = handle.sync_get_latest_loss();
+
+    const auto& s = handle.stats();
+    r.cpu_us = s.cpuUs();
+    r.gpu_us = s.gpuUs();
+    r.wall_us = s.wall_us;
+    r.inputs_per_sec =
+        static_cast<double>(trained) / (r.wall_us * 1e-6);
+    return r;
+}
+
+} // namespace train

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Training/measurement harness shared by the benches and examples.
+ *
+ * Builds per-batch super-graphs (losses of B inputs summed, Section
+ * III-D), trains them through either a baseline executor or a VPPS
+ * handle, and reports simulated training throughput the way the
+ * paper's figures do (inputs per second across batch sizes).
+ */
+#pragma once
+
+#include <string>
+
+#include "exec/executor.hpp"
+#include "models/benchmark_model.hpp"
+#include "vpps/handle.hpp"
+
+namespace train {
+
+/** One measured configuration. */
+struct ThroughputResult
+{
+    std::string system;
+    std::size_t batch_size = 0;
+
+    /** Simulated training throughput, inputs per second. */
+    double inputs_per_sec = 0.0;
+
+    /** Simulated wall time for the measured inputs, us. */
+    double wall_us = 0.0;
+
+    double cpu_us = 0.0;
+    double gpu_us = 0.0;
+    std::uint64_t launches = 0;
+    float last_loss = 0.0f;
+};
+
+/**
+ * Build the super-graph for inputs [start, start + batch) of the
+ * model's dataset (wrapping around) into @p cg.
+ *
+ * @return the aggregated loss expression.
+ */
+graph::Expr buildSuperGraph(models::BenchmarkModel& bm,
+                            graph::ComputationGraph& cg,
+                            std::size_t start, std::size_t batch);
+
+/**
+ * Train @p num_inputs inputs at the given batch size through a
+ * baseline executor (synchronous host/device) and report throughput.
+ */
+ThroughputResult measureExecutor(exec::Executor& executor,
+                                 models::BenchmarkModel& bm,
+                                 std::size_t num_inputs,
+                                 std::size_t batch_size);
+
+/**
+ * Train @p num_inputs inputs through VPPS (pipelined host/device) and
+ * report throughput.
+ */
+ThroughputResult measureVpps(vpps::Handle& handle,
+                             models::BenchmarkModel& bm,
+                             std::size_t num_inputs,
+                             std::size_t batch_size);
+
+} // namespace train

@@ -1,0 +1,23 @@
+#include "train/sgd.hpp"
+
+namespace train {
+
+void
+LossTracker::add(float loss)
+{
+    if (count_ == 0)
+        first_ = loss;
+    last_ = loss;
+    sum_ += loss;
+    ++count_;
+}
+
+float
+LossTracker::mean() const
+{
+    return count_ == 0 ? 0.0f
+                       : static_cast<float>(sum_ /
+                                            static_cast<double>(count_));
+}
+
+} // namespace train

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Trainer configuration and loss tracking helpers.
+ *
+ * Parameter updates themselves happen inside the executors (baselines)
+ * or inside the forward-backward kernel (VPPS); this module holds the
+ * hyper-parameters they query from the Model and small utilities for
+ * monitoring training progress.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "graph/model.hpp"
+
+namespace train {
+
+/** SGD hyper-parameters applied onto a Model. */
+struct SgdConfig
+{
+    float learning_rate = 0.1f;
+    float weight_decay = 1e-6f;
+
+    /** Install these hyper-parameters on the model. */
+    void
+    apply(graph::Model& model) const
+    {
+        model.learning_rate = learning_rate;
+        model.weight_decay = weight_decay;
+    }
+};
+
+/** Running mean/min/max of observed batch losses. */
+class LossTracker
+{
+  public:
+    void add(float loss);
+
+    float mean() const;
+    float first() const { return first_; }
+    float last() const { return last_; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    double sum_ = 0.0;
+    float first_ = 0.0f;
+    float last_ = 0.0f;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace train

@@ -1,0 +1,170 @@
+#include "vpps/handle.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "vpps/kernel_cache.hpp"
+
+namespace vpps {
+
+namespace {
+
+/** Specialize (or load from the cache) the kernel for one rpw. */
+CompiledKernel
+obtainKernel(graph::Model& model, gpusim::Device& device,
+             const VppsOptions& opts, int rpw)
+{
+    if (!opts.kernel_cache_dir.empty()) {
+        const KernelCache cache(opts.kernel_cache_dir);
+        if (auto hit = cache.load(model, device.spec(), opts, rpw)) {
+            common::inform("vpps::Handle: kernel cache hit for rpw ",
+                           rpw, " (module load only)");
+            return std::move(*hit);
+        }
+        const KernelSpecializer specializer(device.spec());
+        auto plan = DistributionPlan::buildAuto(model, device.spec(),
+                                                opts, rpw);
+        auto kernel = specializer.specialize(model, plan);
+        cache.store(kernel, model, device.spec());
+        return kernel;
+    }
+    const KernelSpecializer specializer(device.spec());
+    auto plan =
+        DistributionPlan::buildAuto(model, device.spec(), opts, rpw);
+    return specializer.specialize(model, plan);
+}
+
+} // namespace
+
+Handle::Handle(graph::Model& model, gpusim::Device& device,
+               VppsOptions opts)
+    : device_(device), opts_(opts), pipeline_(opts.async),
+      executor_(device)
+{
+    if (!model.allocated())
+        common::fatal("vpps::Handle: model must be allocated before "
+                      "constructing the handle");
+    if (opts_.rpw > 0) {
+        kernels_.emplace(opts_.rpw,
+                         obtainKernel(model, device_, opts_,
+                                      opts_.rpw));
+    } else {
+        // Compile one kernel per valid rpw, bounded: beyond ~8 rows
+        // per warp the locality gains flatten while JIT cost keeps
+        // growing, so the candidate set is capped (the paper's valid
+        // options are "limited", Section III-A1).
+        constexpr int kMaxCandidates = 8;
+        const int max_rpw = std::min(
+            kMaxCandidates,
+            DistributionPlan::maxRpw(model, device_.spec(), opts_));
+        if (max_rpw < 1)
+            common::fatal("vpps::Handle: no valid rpw; weights do not "
+                          "fit in the register file");
+        for (int rpw = 1; rpw <= max_rpw; ++rpw)
+            kernels_.emplace(rpw,
+                             obtainKernel(model, device_, opts_, rpw));
+        tuner_ = std::make_unique<ProfileGuidedTuner>(max_rpw);
+    }
+    for (const auto& [rpw, k] : kernels_)
+        jit_seconds_ += k.prog_compile_s + k.module_load_s;
+    common::inform("vpps::Handle: compiled ", kernels_.size(),
+                   " kernel(s) in ", jit_seconds_, " s (modeled NVRTC)");
+}
+
+const CompiledKernel&
+Handle::kernel() const
+{
+    const int rpw = tuner_ ? tuner_->candidate() : opts_.rpw;
+    auto it = kernels_.find(rpw);
+    if (it == kernels_.end())
+        common::panic("vpps::Handle: no kernel for rpw ", rpw);
+    return it->second;
+}
+
+float
+Handle::fb(graph::Model& model, graph::ComputationGraph& cg,
+           graph::Expr loss)
+{
+    const CompiledKernel& k = kernel();
+    auto& mem = device_.memory();
+    const auto mark = mem.mark();
+
+    // Host: graph construction + script generation.
+    const ScriptGenerator generator(k, host_);
+    GeneratedBatch gb = generator.generate(device_, model, cg, loss);
+
+    const double ws = host_.workingSetFactor(gb.stats.live_nodes);
+    const double graph_us =
+        static_cast<double>(cg.size()) * host_.graph_node_us * ws;
+
+    // Host-to-device transfer: one pinned-buffer copy for the whole
+    // script (prefix-sum header + per-VPP sections) plus the staged
+    // inputs.
+    const double transfer_bytes =
+        gb.script.bytes() + gb.stats.input_bytes;
+    const double transfer_us =
+        host_.pcie_copy_fixed_us +
+        transfer_bytes / (host_.pcie_bandwidth_gbps * 1e3);
+    device_.addStore(gpusim::MemSpace::Script, gb.script.bytes());
+
+    // Device: gradient-buffer memset + the persistent kernel.
+    const double gpu_before = device_.busyUs();
+    {
+        gpusim::KernelCost memset_cost;
+        memset_cost.dram_store_bytes = gb.stats.zeroed_bytes;
+        memset_cost.parallel_threads = gb.stats.zeroed_bytes / 4.0;
+        device_.addStore(gpusim::MemSpace::ActGrads,
+                         gb.stats.zeroed_bytes);
+        device_.launchKernel(memset_cost);
+    }
+    RunResult rr = executor_.run(k, gb, model, cg);
+    const double gpu_us = device_.busyUs() - gpu_before;
+
+    const double cpu_us = graph_us + gb.stats.fwd_sched_us +
+                          gb.stats.bwd_sched_us + transfer_us;
+    pipeline_.submit({cpu_us, gpu_us});
+
+    stats_.graph_us += graph_us;
+    stats_.fwd_sched_us += gb.stats.fwd_sched_us;
+    stats_.bwd_sched_us += gb.stats.bwd_sched_us;
+    stats_.transfer_us += transfer_us;
+    stats_.kernel_us += rr.kernel_us;
+    stats_.extra_kernel_us += gpu_us - rr.kernel_us;
+    stats_.wall_us = pipeline_.makespanUs();
+    stats_.batches += 1;
+    stats_.instructions += rr.instructions;
+    stats_.nodes += gb.stats.live_nodes;
+
+    if (tuner_ && !tuner_->done())
+        tuner_->record(cpu_us + gpu_us);
+
+    mem.resetTo(mark);
+
+    const float previous = pending_loss_;
+    pending_loss_ = rr.loss;
+    return opts_.async ? previous : rr.loss;
+}
+
+float
+Handle::sync_get_latest_loss()
+{
+    pipeline_.sync();
+    return pending_loss_;
+}
+
+std::optional<TuneResult>
+Handle::tuneResult() const
+{
+    if (!tuner_ || !tuner_->done())
+        return std::nullopt;
+    return tuner_->result();
+}
+
+void
+Handle::resetStats()
+{
+    stats_.reset();
+    pipeline_.reset();
+}
+
+} // namespace vpps

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The user-facing VPPS API (Section III-D).
+ *
+ * Usage mirrors the paper's three calls exactly:
+ *
+ * @code
+ *   vpps::Handle hndl(model, device);          // JIT-specializes
+ *   ...
+ *   float stale = hndl.fb(model, cg, loss);    // per training batch
+ *   ...
+ *   float latest = hndl.sync_get_latest_loss(); // occasional sync
+ * @endcode
+ *
+ * Construction specializes and JIT-compiles the forward-backward
+ * kernel(s) for the model's weight matrices; fb() generates and
+ * transfers the execution script for the given super-graph and runs
+ * the kernel; because device execution is asynchronous with respect
+ * to the host, fb() returns the loss of the *previous* batch, and
+ * sync_get_latest_loss() drains the pipeline and returns the current
+ * one.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "vpps/codegen.hpp"
+#include "vpps/pipeline.hpp"
+#include "vpps/script_exec.hpp"
+#include "vpps/script_gen.hpp"
+#include "vpps/tuner.hpp"
+
+namespace vpps {
+
+/** Accumulated execution statistics, split as in Fig 10. */
+struct VppsStats
+{
+    /** @name Host-side components
+     *  @{ */
+    double graph_us = 0.0;
+    double fwd_sched_us = 0.0;
+    double bwd_sched_us = 0.0;
+    double transfer_us = 0.0;
+    /** @} */
+
+    /** @name Device-side components
+     *  @{ */
+    double kernel_us = 0.0;
+    double extra_kernel_us = 0.0;
+    /** @} */
+
+    /** Pipelined wall-clock makespan so far, us. */
+    double wall_us = 0.0;
+
+    std::uint64_t batches = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t nodes = 0;
+
+    double cpuUs() const
+    {
+        return graph_us + fwd_sched_us + bwd_sched_us + transfer_us;
+    }
+
+    double gpuUs() const { return kernel_us + extra_kernel_us; }
+
+    void reset() { *this = VppsStats{}; }
+};
+
+/** The VPPS training handle. */
+class Handle
+{
+  public:
+    /**
+     * Specialize and JIT-compile the forward-backward kernel(s).
+     *
+     * With opts.rpw > 0 a single kernel is compiled; with rpw == 0
+     * (the default) one kernel per valid rpw is compiled up front and
+     * the profile-guided tuner selects among them over the first
+     * training batches (Section III-A1).
+     */
+    Handle(graph::Model& model, gpusim::Device& device,
+           VppsOptions opts = {});
+
+    /**
+     * Run forward propagation, backward propagation, and parameter
+     * update for the super-graph rooted at @p loss in one kernel
+     * invocation.
+     *
+     * @return the loss of the previous batch (stale, Section III-D);
+     * for the first batch, 0.
+     */
+    float fb(graph::Model& model, graph::ComputationGraph& cg,
+             graph::Expr loss);
+
+    /** Wait for the in-flight kernel and return its loss. */
+    float sync_get_latest_loss();
+
+    /** @return the kernel currently selected for execution. */
+    const CompiledKernel& kernel() const;
+
+    /** @return total JIT time across all compiled kernels, s. */
+    double jitSeconds() const { return jit_seconds_; }
+
+    /** @return the tuner's result, once profiling has finished. */
+    std::optional<TuneResult> tuneResult() const;
+
+    const VppsStats& stats() const { return stats_; }
+    void resetStats();
+
+    const VppsOptions& options() const { return opts_; }
+
+  private:
+    gpusim::Device& device_;
+    gpusim::HostSpec host_;
+    VppsOptions opts_;
+    std::map<int, CompiledKernel> kernels_; // by rpw
+    std::unique_ptr<ProfileGuidedTuner> tuner_;
+    AsyncPipeline pipeline_;
+    ScriptExecutor executor_;
+    VppsStats stats_;
+    double jit_seconds_ = 0.0;
+    float pending_loss_ = 0.0f;
+};
+
+} // namespace vpps

@@ -1,0 +1,188 @@
+#include "vpps/isa.hpp"
+
+#include "common/logging.hpp"
+
+namespace vpps {
+
+const char*
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::MatVec: return "mvm";
+      case Opcode::MatVecT: return "mvm_t";
+      case Opcode::Outer: return "outer";
+      case Opcode::Copy: return "copy";
+      case Opcode::Accum: return "accum";
+      case Opcode::AccumParam: return "accum_param";
+      case Opcode::Add2: return "add2";
+      case Opcode::Add3: return "add3";
+      case Opcode::Mul: return "mul";
+      case Opcode::MulAccum: return "mul_accum";
+      case Opcode::Tanh: return "tanh";
+      case Opcode::TanhBack: return "tanh_back";
+      case Opcode::Sigmoid: return "sigmoid";
+      case Opcode::SigmoidBack: return "sigmoid_back";
+      case Opcode::Relu: return "relu";
+      case Opcode::ReluBack: return "relu_back";
+      case Opcode::Scale: return "scale";
+      case Opcode::ScaleAccum: return "scale_accum";
+      case Opcode::PickNLS: return "pick_nls";
+      case Opcode::PickNLSBack: return "pick_nls_back";
+      case Opcode::UpdateVec: return "update_vec";
+      case Opcode::Signal: return "signal";
+      case Opcode::Wait: return "wait";
+      default: return "invalid";
+    }
+}
+
+int
+operandWords(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Signal:
+      case Opcode::Wait:
+        return 0;
+      case Opcode::MatVec:
+      case Opcode::MatVecT:
+      case Opcode::Outer:
+      case Opcode::Copy:
+      case Opcode::Accum:
+      case Opcode::AccumParam:
+      case Opcode::UpdateVec:
+        return 2;
+      case Opcode::Add2:
+      case Opcode::Mul:
+      case Opcode::MulAccum:
+      case Opcode::TanhBack:
+      case Opcode::SigmoidBack:
+      case Opcode::ReluBack:
+      case Opcode::Scale:
+      case Opcode::ScaleAccum:
+        return 3;
+      case Opcode::Tanh:
+      case Opcode::Sigmoid:
+      case Opcode::Relu:
+        return 2;
+      case Opcode::Add3:
+      case Opcode::PickNLS:
+      case Opcode::PickNLSBack:
+        return 4;
+      default:
+        common::panic("operandWords: invalid opcode ",
+                      static_cast<int>(op));
+    }
+}
+
+std::uint32_t
+packPreamble(Opcode op, std::uint32_t imm)
+{
+    if (imm > 0x00FFFFFFu)
+        common::panic("packPreamble: immediate ", imm,
+                      " exceeds 24 bits");
+    return (static_cast<std::uint32_t>(op) << 24) | imm;
+}
+
+Opcode
+preambleOpcode(std::uint32_t word)
+{
+    return static_cast<Opcode>(word >> 24);
+}
+
+std::uint32_t
+preambleImm(std::uint32_t word)
+{
+    return word & 0x00FFFFFFu;
+}
+
+Script::Script(int num_vpps)
+    : num_vpps_(num_vpps),
+      streams_(static_cast<std::size_t>(num_vpps))
+{
+    if (num_vpps <= 0)
+        common::panic("Script: num_vpps must be positive");
+}
+
+void
+Script::emit(int vpp, Opcode op, std::uint32_t imm,
+             const std::vector<std::uint32_t>& operands)
+{
+    emit(vpp, op, imm, operands.data(),
+         static_cast<int>(operands.size()));
+}
+
+void
+Script::emit(int vpp, Opcode op, std::uint32_t imm,
+             const std::uint32_t* operands, int n_operands)
+{
+    if (sealed_)
+        common::panic("Script::emit after seal()");
+    if (n_operands != operandWords(op))
+        common::panic("Script::emit: ", opcodeName(op), " takes ",
+                      operandWords(op), " operands, got ", n_operands);
+    auto& s = streams_.at(static_cast<std::size_t>(vpp));
+    s.push_back(packPreamble(op, imm));
+    for (int i = 0; i < n_operands; ++i)
+        s.push_back(operands[i]);
+    ++num_instructions_;
+}
+
+void
+Script::setExpectedSignals(std::size_t barrier, int count)
+{
+    if (barrier >= expected_signals_.size())
+        expected_signals_.resize(barrier + 1, 0);
+    expected_signals_[barrier] = static_cast<std::uint32_t>(count);
+}
+
+void
+Script::seal()
+{
+    if (sealed_)
+        common::panic("Script::seal called twice");
+    sealed_ = true;
+    words_.reserve(static_cast<std::size_t>(num_vpps_) + 1);
+    // Prefix-sum header: words_[v] is the start of VPP v's stream
+    // relative to the end of the header; words_[num_vpps] is the end.
+    std::uint32_t acc = 0;
+    words_.push_back(0);
+    for (const auto& s : streams_) {
+        acc += static_cast<std::uint32_t>(s.size());
+        words_.push_back(acc);
+    }
+    for (auto& s : streams_) {
+        words_.insert(words_.end(), s.begin(), s.end());
+        s.clear();
+        s.shrink_to_fit();
+    }
+}
+
+const std::vector<std::uint32_t>&
+Script::words() const
+{
+    if (!sealed_)
+        common::panic("Script::words before seal()");
+    return words_;
+}
+
+std::pair<const std::uint32_t*, const std::uint32_t*>
+Script::vppStream(int vpp) const
+{
+    if (!sealed_)
+        common::panic("Script::vppStream before seal()");
+    const std::size_t header = static_cast<std::size_t>(num_vpps_) + 1;
+    const std::size_t begin = words_[static_cast<std::size_t>(vpp)];
+    const std::size_t end = words_[static_cast<std::size_t>(vpp) + 1];
+    return {words_.data() + header + begin, words_.data() + header + end};
+}
+
+double
+Script::bytes() const
+{
+    if (!sealed_)
+        common::panic("Script::bytes before seal()");
+    return 4.0 * static_cast<double>(words_.size());
+}
+
+} // namespace vpps

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The virtual CISC-like vector-processor instruction set
+ * (Section III-B).
+ *
+ * Every instruction starts with a 4-byte preamble packing the opcode
+ * (8 bits) and an immediate (24 bits: tensor length, weight-matrix id,
+ * or barrier index), followed by up to four 4-byte operand words --
+ * memory-pool element offsets or small immediates -- for a maximum
+ * instruction size of 20 bytes, matching the paper.
+ *
+ * Per-VPP scripts are concatenated into one buffer preceded by a
+ * prefix sum of per-VPP word counts so each VPP can index directly
+ * into its own section (Section III-B2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpps {
+
+/** Opcode of a scripted instruction. */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    //
+    // Matrix operations against register-cached weights. The preamble
+    // immediate is the weight-matrix id; each participating VPP
+    // operates on the rows it caches.
+    //
+    MatVec,       //!< y = W x            operands: x, y
+    MatVecT,      //!< dx += W^T dy       operands: dy, dx (atomics)
+    Outer,        //!< dWreg += dy x^T    operands: dy, x
+    //
+    // Element-wise vector operations; preamble immediate = length.
+    //
+    Copy,         //!< out = in           operands: out, in
+    Accum,        //!< out += in          operands: out, in
+    AccumParam,   //!< param-grad += in   operands: out, in
+    Add2,         //!< out = a + b        operands: out, a, b
+    Add3,         //!< out = a + b + c    operands: out, a, b, c
+    Mul,          //!< out = a * b        operands: out, a, b
+    MulAccum,     //!< out += a * b       operands: out, a, b
+    Tanh,         //!< out = tanh(in)     operands: out, in
+    TanhBack,     //!< din += dout*(1-y^2)    operands: din, y, dout
+    Sigmoid,      //!< out = sigmoid(in)  operands: out, in
+    SigmoidBack,  //!< din += dout*y*(1-y)    operands: din, y, dout
+    Relu,         //!< out = relu(in)     operands: out, in
+    ReluBack,     //!< din += dout*(y>0)  operands: din, y, dout
+    Scale,        //!< out = c * in        operands: out, in, c bits
+    ScaleAccum,   //!< out += c * in       operands: out, in, c bits
+    //
+    // Loss and parameter-update operations.
+    //
+    PickNLS,      //!< loss = -log softmax(x)[lbl]; ops: x, probs, loss, lbl
+    PickNLSBack,  //!< dx += dloss*(p - 1_lbl); ops: probs, dloss, dx, lbl
+    UpdateVec,    //!< p -= lr*(g + wd*p); ops: p, g  (biases, embed rows)
+    //
+    // Inter-VPP synchronization (Section III-B1); immediate = barrier.
+    //
+    Signal,
+    Wait,
+    NumOpcodes
+};
+
+/** @return mnemonic for diagnostics and generated-source listings. */
+const char* opcodeName(Opcode op);
+
+/** @return the number of operand words following the preamble. */
+int operandWords(Opcode op);
+
+/** Pack a preamble word: opcode in the top 8 bits, imm in low 24. */
+std::uint32_t packPreamble(Opcode op, std::uint32_t imm);
+
+/** @return the opcode of a preamble word. */
+Opcode preambleOpcode(std::uint32_t word);
+
+/** @return the 24-bit immediate of a preamble word. */
+std::uint32_t preambleImm(std::uint32_t word);
+
+/**
+ * The execution script for one kernel invocation: per-VPP instruction
+ * streams behind a prefix-sum header, plus barrier metadata.
+ */
+class Script
+{
+  public:
+    explicit Script(int num_vpps);
+
+    int numVpps() const { return num_vpps_; }
+
+    /** Append an instruction to VPP @p vpp's stream. */
+    void emit(int vpp, Opcode op, std::uint32_t imm,
+              const std::vector<std::uint32_t>& operands);
+
+    /** Append an instruction from a raw operand array. */
+    void emit(int vpp, Opcode op, std::uint32_t imm,
+              const std::uint32_t* operands, int n_operands);
+
+    /** Declare barrier @p barrier to expect @p count signals. */
+    void setExpectedSignals(std::size_t barrier, int count);
+
+    const std::vector<std::uint32_t>& expectedSignals() const
+    {
+        return expected_signals_;
+    }
+
+    /**
+     * Finalize into the transferable buffer: header (num_vpps + 1
+     * prefix sums) followed by the concatenated per-VPP streams.
+     * Must be called exactly once, after all emission.
+     */
+    void seal();
+
+    /** @return the sealed buffer (header + streams). */
+    const std::vector<std::uint32_t>& words() const;
+
+    /** @return [begin, end) word range of VPP @p vpp's stream. */
+    std::pair<const std::uint32_t*, const std::uint32_t*>
+    vppStream(int vpp) const;
+
+    /** @return total script size in bytes (the H2D transfer size). */
+    double bytes() const;
+
+    /** @return total instruction count across all VPPs. */
+    std::size_t numInstructions() const { return num_instructions_; }
+
+  private:
+    int num_vpps_;
+    bool sealed_ = false;
+    std::vector<std::vector<std::uint32_t>> streams_;
+    std::vector<std::uint32_t> words_;
+    std::vector<std::uint32_t> expected_signals_;
+    std::size_t num_instructions_ = 0;
+};
+
+} // namespace vpps

@@ -1,0 +1,126 @@
+#include "vpps/kernel_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace vpps {
+
+namespace {
+
+constexpr const char* kMagic = "vpps-kernel-cache-v1";
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+} // namespace
+
+KernelCache::KernelCache(std::string directory)
+    : directory_(std::move(directory))
+{
+    if (directory_.empty())
+        common::fatal("KernelCache: empty directory");
+}
+
+std::string
+KernelCache::keyFor(const graph::Model& model,
+                    const gpusim::DeviceSpec& spec, int rpw,
+                    int ctas_per_sm, bool grads_cached)
+{
+    std::uint64_t h = 0xC0FFEEull;
+    for (graph::ParamId m : model.weightMatrices()) {
+        const auto& p = model.param(m);
+        h = hashCombine(h, p.shape.rows());
+        h = hashCombine(h, p.shape.cols());
+    }
+    h = hashCombine(h, static_cast<std::uint64_t>(rpw));
+    h = hashCombine(h, static_cast<std::uint64_t>(ctas_per_sm));
+    h = hashCombine(h, grads_cached ? 1 : 0);
+    h = hashCombine(h, static_cast<std::uint64_t>(spec.num_sms));
+    h = hashCombine(h, spec.regfile_bytes_per_sm);
+    std::ostringstream oss;
+    oss << std::hex << h;
+    return oss.str();
+}
+
+std::string
+KernelCache::pathFor(const std::string& key) const
+{
+    return directory_ + "/" + key + ".vppsk";
+}
+
+std::optional<CompiledKernel>
+KernelCache::load(const graph::Model& model,
+                  const gpusim::DeviceSpec& spec,
+                  const VppsOptions& opts, int rpw) const
+{
+    // The plan the handle would build: needed both to form the key
+    // and to reconstitute the kernel on a hit.
+    auto plan = DistributionPlan::buildAuto(model, spec, opts, rpw);
+    const std::string key = keyFor(model, spec, rpw, plan.ctasPerSm(),
+                                   plan.gradientsCached());
+    std::ifstream in(pathFor(key));
+    if (!in)
+        return std::nullopt;
+
+    std::string magic;
+    std::getline(in, magic);
+    if (magic != kMagic) {
+        common::warn("KernelCache: ignoring corrupt entry ", key);
+        return std::nullopt;
+    }
+    CompiledKernel kernel;
+    kernel.plan = std::move(plan);
+    double stored_module_load = 0.0;
+    in >> kernel.num_instantiations >> kernel.source_lines >>
+        stored_module_load;
+    in.ignore(); // trailing newline before the source blob
+    std::ostringstream src;
+    src << in.rdbuf();
+    kernel.source = src.str();
+    if (kernel.source.empty()) {
+        common::warn("KernelCache: ignoring empty entry ", key);
+        return std::nullopt;
+    }
+    // Program compilation is amortized away; module load (PTX ->
+    // SASS) must still run (Section IV-F).
+    kernel.prog_compile_s = 0.0;
+    kernel.module_load_s = stored_module_load;
+    return kernel;
+}
+
+void
+KernelCache::store(const CompiledKernel& kernel,
+                   const graph::Model& model,
+                   const gpusim::DeviceSpec& spec) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec) {
+        common::warn("KernelCache: cannot create ", directory_, ": ",
+                     ec.message());
+        return;
+    }
+    const std::string key =
+        keyFor(model, spec, kernel.plan.rpw(),
+               kernel.plan.ctasPerSm(), kernel.plan.gradientsCached());
+    std::ofstream out(pathFor(key), std::ios::trunc);
+    if (!out) {
+        common::warn("KernelCache: cannot write entry ", key);
+        return;
+    }
+    out << kMagic << "\n"
+        << kernel.num_instantiations << ' ' << kernel.source_lines
+        << ' ' << std::setprecision(17) << kernel.module_load_s
+        << "\n"
+        << kernel.source;
+}
+
+} // namespace vpps

@@ -1,0 +1,475 @@
+#include "vpps/script_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "tensor/host_math.hpp"
+
+namespace vpps {
+
+using gpusim::KernelCost;
+using gpusim::MemSpace;
+
+namespace {
+
+/** Fixed interpreter overhead per instruction: shared-memory fetch,
+ *  decode switch, operand unpacking. */
+constexpr double kDecodeUs = 0.10;
+
+} // namespace
+
+ScriptExecutor::ScriptExecutor(gpusim::Device& device)
+    : device_(device)
+{
+}
+
+RunResult
+ScriptExecutor::run(const CompiledKernel& kernel,
+                    const GeneratedBatch& batch, graph::Model& model,
+                    graph::ComputationGraph& cg)
+{
+    const DistributionPlan& plan = kernel.plan;
+    const auto& spec = device_.spec();
+    const int num_vpps = plan.numVpps();
+    auto& mem = device_.memory();
+    const Script& script = batch.script;
+
+    gpusim::PersistentSim psim(spec, num_vpps, plan.ctasPerSm());
+    for (std::size_t b = 0; b < script.expectedSignals().size(); ++b)
+        psim.setExpectedSignals(
+            b, static_cast<int>(script.expectedSignals()[b]));
+
+    RunResult result;
+
+    // -- Prologue: script fetch, cached-weight load, grad-reg init.
+    // A VPP stages its script section in shared memory; sections
+    // longer than its shared-memory slice are fetched in multiple
+    // rounds by an outer loop (Section III-B2), each round paying a
+    // dependent-load latency.
+    const double shared_budget =
+        static_cast<double>(spec.shared_bytes_per_sm) /
+        plan.ctasPerSm();
+    for (int vpp = 0; vpp < num_vpps; ++vpp) {
+        auto [begin, end] = script.vppStream(vpp);
+        const double script_bytes =
+            4.0 * static_cast<double>(end - begin);
+        const double weight_bytes = plan.cachedWeightBytes(vpp);
+        const double fetch_rounds =
+            std::max(1.0, std::ceil(script_bytes / shared_budget));
+        KernelCost prologue;
+        prologue.dram_load_bytes = script_bytes + weight_bytes;
+        prologue.latency_hops = 1.0 + fetch_rounds;
+        psim.chargeInstruction(vpp, prologue);
+        device_.addLoad(MemSpace::Script, script_bytes);
+        device_.addLoad(MemSpace::Weights, weight_bytes);
+    }
+
+    // -- Interpretation loop with blocking waits: round-robin over
+    // VPPs, each executing until it blocks on an unready barrier.
+    struct VppCursor
+    {
+        const std::uint32_t* pc;
+        const std::uint32_t* end;
+    };
+    std::vector<VppCursor> cursors(static_cast<std::size_t>(num_vpps));
+    std::size_t unfinished = 0;
+    for (int vpp = 0; vpp < num_vpps; ++vpp) {
+        auto [begin, end] = script.vppStream(vpp);
+        cursors[static_cast<std::size_t>(vpp)] = {begin, end};
+        if (begin != end)
+            ++unfinished;
+    }
+
+    const bool func = device_.functional();
+    auto exec_instr = [&](int vpp, const std::uint32_t* pc) {
+        const Opcode op = preambleOpcode(pc[0]);
+        const std::uint32_t imm = preambleImm(pc[0]);
+        KernelCost cost;
+        cost.latency_hops = 0.0;
+        const double len = static_cast<double>(imm);
+        switch (op) {
+          case Opcode::MatVec: {
+            const auto& p = model.param(imm);
+            double rows = 0.0;
+            for (const auto& s : plan.slices(vpp, imm, false)) {
+                if (func)
+                    tensor::gemvRows(mem.data(p.value), mem.data(pc[1]),
+                                     mem.data(pc[2]), s.first_row,
+                                     s.first_row + s.num_rows,
+                                     p.shape.cols());
+                rows += s.num_rows;
+            }
+            const double cols = p.shape.cols();
+            cost.flops = 2.0 * rows * cols;
+            cost.dram_load_bytes = 4.0 * cols;       // x (weights: regs)
+            cost.dram_store_bytes = 4.0 * rows;      // y
+            cost.latency_hops = 2.0; // x load -> compute -> y store
+            device_.addLoad(MemSpace::Activations, 4.0 * cols);
+            device_.addStore(MemSpace::Activations, 4.0 * rows);
+            break;
+          }
+          case Opcode::MatVecT: {
+            const auto& p = model.param(imm);
+            double rows = 0.0;
+            for (const auto& s : plan.slices(vpp, imm, false)) {
+                if (func)
+                    tensor::gemvTransposedAccumRows(
+                        mem.data(p.value), mem.data(pc[1]),
+                        mem.data(pc[2]), s.first_row,
+                        s.first_row + s.num_rows, p.shape.cols());
+                rows += s.num_rows;
+            }
+            const double cols = p.shape.cols();
+            const double warps = std::ceil(rows / plan.rpw());
+            cost.flops = 2.0 * rows * cols;
+            cost.dram_load_bytes = 4.0 * rows;       // dy rows
+            // Remote atomic stores: one per column per warp; more
+            // rows per warp means fewer warps and fewer atomics
+            // (the rpw trade-off of Section III-A1).
+            cost.atomic_ops = cols * warps;
+            cost.latency_hops = 2.0;
+            device_.addLoad(MemSpace::ActGrads, 4.0 * rows);
+            device_.addStore(MemSpace::ActGrads, 4.0 * cols);
+            device_.traffic().addAtomics(cost.atomic_ops);
+            break;
+          }
+          case Opcode::Outer: {
+            const auto& p = model.param(imm);
+            double rows = 0.0;
+            for (const auto& s : plan.slices(vpp, imm, true)) {
+                if (func)
+                    tensor::outerAccumRows( // register-cached proxy
+                        mem.data(p.grad), mem.data(pc[1]),
+                        mem.data(pc[2]), s.first_row,
+                        s.first_row + s.num_rows, p.shape.cols());
+                rows += s.num_rows;
+            }
+            const double cols = p.shape.cols();
+            cost.flops = 2.0 * rows * cols;
+            cost.dram_load_bytes = 4.0 * (rows + cols); // dy rows + x
+            // dy and x were just touched by the transposed product
+            // in the same phase, so most of the latency is hidden.
+            cost.latency_hops = 0.3;
+            device_.addLoad(MemSpace::ActGrads, 4.0 * rows);
+            device_.addLoad(MemSpace::Activations, 4.0 * cols);
+            break;
+          }
+          case Opcode::Copy:
+            if (func)
+                std::memcpy(mem.data(pc[1]), mem.data(pc[2]),
+                            static_cast<std::size_t>(imm) *
+                                sizeof(float));
+            cost.dram_load_bytes = 4.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len);
+            break;
+          case Opcode::Accum:
+          case Opcode::AccumParam: {
+            if (func)
+                tensor::accum(mem.data(pc[1]), mem.data(pc[2]), imm);
+            cost.flops = len;
+            cost.dram_load_bytes = 8.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            const MemSpace space = op == Opcode::AccumParam
+                                       ? MemSpace::ParamGrads
+                                       : MemSpace::ActGrads;
+            device_.addLoad(space, 4.0 * len);
+            device_.addLoad(MemSpace::ActGrads, 4.0 * len);
+            device_.addStore(space, 4.0 * len);
+            break;
+          }
+          case Opcode::Add2: {
+            if (func) {
+                const float* ins[2] = {mem.data(pc[2]),
+                                       mem.data(pc[3])};
+                tensor::addN(ins, 2, mem.data(pc[1]), imm);
+            }
+            cost.flops = len;
+            cost.dram_load_bytes = 8.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 8.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len);
+            break;
+          }
+          case Opcode::Add3: {
+            if (func) {
+                const float* ins[3] = {mem.data(pc[2]),
+                                       mem.data(pc[3]),
+                                       mem.data(pc[4])};
+                tensor::addN(ins, 3, mem.data(pc[1]), imm);
+            }
+            cost.flops = 2.0 * len;
+            cost.dram_load_bytes = 12.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 12.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len);
+            break;
+          }
+          case Opcode::Mul:
+            if (func)
+                tensor::cwiseMult(mem.data(pc[2]), mem.data(pc[3]),
+                                  mem.data(pc[1]), imm);
+            cost.flops = len;
+            cost.dram_load_bytes = 8.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 8.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len);
+            break;
+          case Opcode::MulAccum: {
+            if (func) {
+                float* out = mem.data(pc[1]);
+                const float* a = mem.data(pc[2]);
+                const float* b = mem.data(pc[3]);
+                for (std::uint32_t i = 0; i < imm; ++i)
+                    out[i] += a[i] * b[i];
+            }
+            cost.flops = 2.0 * len;
+            cost.dram_load_bytes = 12.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            break;
+          }
+          case Opcode::Tanh:
+            if (func)
+                tensor::tanhForward(mem.data(pc[2]), mem.data(pc[1]),
+                                    imm);
+            cost.flops = 10.0 * len;
+            cost.dram_load_bytes = 4.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len);
+            break;
+          case Opcode::Sigmoid:
+            if (func)
+                tensor::sigmoidForward(mem.data(pc[2]),
+                                       mem.data(pc[1]), imm);
+            cost.flops = 10.0 * len;
+            cost.dram_load_bytes = 4.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len);
+            break;
+          case Opcode::Relu:
+            if (func)
+                tensor::reluForward(mem.data(pc[2]), mem.data(pc[1]),
+                                    imm);
+            cost.flops = len;
+            cost.dram_load_bytes = 4.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len);
+            break;
+          case Opcode::Scale: {
+            if (func) {
+                float factor;
+                std::uint32_t bits = pc[3];
+                std::memcpy(&factor, &bits, sizeof(factor));
+                tensor::scaleForward(mem.data(pc[2]), factor,
+                                     mem.data(pc[1]), imm);
+            }
+            cost.flops = len;
+            cost.dram_load_bytes = 4.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len);
+            break;
+          }
+          case Opcode::ScaleAccum: {
+            if (func) {
+                float factor;
+                std::uint32_t bits = pc[3];
+                std::memcpy(&factor, &bits, sizeof(factor));
+                tensor::scaleAccum(mem.data(pc[2]), factor,
+                                   mem.data(pc[1]), imm);
+            }
+            cost.flops = 2.0 * len;
+            cost.dram_load_bytes = 8.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
+            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            break;
+          }
+          case Opcode::TanhBack:
+            if (func)
+                tensor::tanhBackward(mem.data(pc[2]), mem.data(pc[3]),
+                                     mem.data(pc[1]), imm);
+            cost.flops = 3.0 * len;
+            cost.dram_load_bytes = 12.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            break;
+          case Opcode::SigmoidBack:
+            if (func)
+                tensor::sigmoidBackward(mem.data(pc[2]),
+                                        mem.data(pc[3]),
+                                        mem.data(pc[1]), imm);
+            cost.flops = 3.0 * len;
+            cost.dram_load_bytes = 12.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            break;
+          case Opcode::ReluBack:
+            if (func)
+                tensor::reluBackward(mem.data(pc[2]), mem.data(pc[3]),
+                                     mem.data(pc[1]), imm);
+            cost.flops = len;
+            cost.dram_load_bytes = 12.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            break;
+          case Opcode::PickNLS:
+            if (func)
+                mem.data(pc[3])[0] = tensor::pickNegLogSoftmax(
+                    mem.data(pc[1]), pc[4], mem.data(pc[2]), imm);
+            cost.flops = 10.0 * len;
+            cost.dram_load_bytes = 4.0 * len;
+            cost.dram_store_bytes = 4.0 * len + 4.0;
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addStore(MemSpace::Activations, 4.0 * len + 4.0);
+            break;
+          case Opcode::PickNLSBack:
+            if (func)
+                tensor::pickNegLogSoftmaxBackward(
+                    mem.data(pc[1]), pc[4], mem.data(pc[2])[0],
+                    mem.data(pc[3]), imm);
+            cost.flops = 3.0 * len;
+            cost.dram_load_bytes = 8.0 * len;
+            cost.dram_store_bytes = 4.0 * len;
+            device_.addLoad(MemSpace::Activations, 4.0 * len);
+            device_.addLoad(MemSpace::ActGrads, 4.0 * len);
+            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            break;
+          case Opcode::UpdateVec:
+            if (func)
+                tensor::sgdUpdate(mem.data(pc[1]), mem.data(pc[2]),
+                                  imm, model.learning_rate,
+                                  model.weight_decay);
+            cost.flops = 3.0 * len;
+            cost.dram_load_bytes = 8.0 * len;
+            cost.dram_store_bytes = 8.0 * len;
+            device_.addLoad(MemSpace::Params, 4.0 * len);
+            device_.addLoad(MemSpace::ParamGrads, 4.0 * len);
+            device_.addStore(MemSpace::Params, 8.0 * len);
+            break;
+          case Opcode::Nop:
+            break;
+          default:
+            common::panic("ScriptExecutor: bad opcode in stream");
+        }
+        psim.charge(vpp, kDecodeUs);
+        psim.chargeInstruction(vpp, cost);
+        ++result.instructions;
+    };
+
+    while (unfinished > 0) {
+        bool progress = false;
+        for (int vpp = 0; vpp < num_vpps; ++vpp) {
+            auto& cur = cursors[static_cast<std::size_t>(vpp)];
+            while (cur.pc != cur.end) {
+                const Opcode op = preambleOpcode(cur.pc[0]);
+                const std::uint32_t imm = preambleImm(cur.pc[0]);
+                if (op == Opcode::Wait) {
+                    if (!psim.barrierReady(imm))
+                        break;
+                    psim.wait(imm, vpp);
+                } else if (op == Opcode::Signal) {
+                    psim.signal(imm, vpp);
+                } else {
+                    exec_instr(vpp, cur.pc);
+                }
+                cur.pc += 1 + operandWords(op);
+                progress = true;
+                if (cur.pc == cur.end)
+                    --unfinished;
+            }
+        }
+        if (!progress)
+            common::panic("ScriptExecutor: barrier deadlock");
+    }
+
+    // -- Epilogue: apply register-cached gradients onto the DRAM
+    // master copies (store-only: both W and dW live in registers).
+    if (plan.gradientsCached()) {
+        for (graph::ParamId m : model.weightMatrices()) {
+            auto& p = model.param(m);
+            tensor::sgdUpdate(mem.data(p.value), mem.data(p.grad),
+                              p.shape.size(), model.learning_rate,
+                              model.weight_decay);
+        }
+        for (int vpp = 0; vpp < num_vpps; ++vpp) {
+            const double bytes = plan.cachedWeightBytes(vpp);
+            KernelCost epilogue;
+            epilogue.flops = bytes / 4.0 * 3.0;
+            epilogue.dram_store_bytes = bytes;
+            epilogue.latency_hops = 1.0;
+            psim.chargeInstruction(vpp, epilogue);
+            device_.addStore(MemSpace::Weights, bytes);
+        }
+    }
+
+    result.makespan_us = psim.makespan();
+    result.mean_vpp_us = psim.meanVppTime();
+    result.kernel_us = spec.kernel_launch_us + result.makespan_us;
+    {
+        KernelCost launch_only;
+        launch_only.latency_hops = 0.0;
+        device_.launchKernel(launch_only);
+        device_.chargeTime(result.makespan_us);
+    }
+
+    // -- Uncached-gradient strategy: staged GEMMs (the CUBLAS
+    // substitute) followed by dense matrix updates (Section III-C2).
+    if (!plan.gradientsCached()) {
+        for (const auto& st : batch.gemm_staging) {
+            auto& p = model.param(st.matrix);
+            const double r = p.shape.rows(), c = p.shape.cols();
+            const double k = st.count;
+            tensor::gemmAccumABt(mem.data(p.grad),
+                                 mem.data(st.lhs_base),
+                                 mem.data(st.rhs_base), p.shape.rows(),
+                                 p.shape.cols(),
+                                 st.count);
+            KernelCost gemm;
+            gemm.flops = 2.0 * r * c * k;
+            gemm.dram_load_bytes = 4.0 * (r * k + c * k + r * c);
+            gemm.dram_store_bytes = 4.0 * r * c;
+            gemm.parallel_threads = r * c;
+            device_.addLoad(MemSpace::Workspace, 4.0 * (r + c) * k);
+            device_.addLoad(p.gradSpace(), 4.0 * r * c);
+            device_.addStore(p.gradSpace(), 4.0 * r * c);
+            result.extra_kernel_us += device_.launchKernel(gemm);
+        }
+        for (graph::ParamId m : model.weightMatrices()) {
+            auto& p = model.param(m);
+            tensor::sgdUpdate(mem.data(p.value), mem.data(p.grad),
+                              p.shape.size(), model.learning_rate,
+                              model.weight_decay);
+            KernelCost update;
+            update.flops = 3.0 * static_cast<double>(p.shape.size());
+            update.dram_load_bytes = 2.0 * p.bytes();
+            update.dram_store_bytes = p.bytes();
+            update.parallel_threads =
+                static_cast<double>(p.shape.size());
+            device_.addLoad(MemSpace::Weights, p.bytes());
+            device_.addLoad(MemSpace::WeightGrads, p.bytes());
+            device_.addStore(MemSpace::Weights, p.bytes());
+            result.extra_kernel_us += device_.launchKernel(update);
+        }
+    }
+
+    result.loss = mem.data(cg.node(batch.loss_node).fwd)[0];
+    return result;
+}
+
+} // namespace vpps

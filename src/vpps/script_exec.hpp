@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Script-guided execution of the specialized forward-backward kernel
+ * (Section III-B2, Fig 7).
+ *
+ * Each VPP fetches its script section, then loops: decode one
+ * instruction, switch on its type, execute it with all the CTA's
+ * threads. Matrix instructions read weights from the register cache
+ * (no DRAM traffic); signal/wait instructions synchronize VPPs
+ * through global-memory barriers. The simulator runs the same
+ * functional math as the baselines while charging per-instruction
+ * costs onto per-VPP timelines, so the kernel duration reflects both
+ * the work and the barrier/imbalance structure of the script.
+ */
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/persistent_sim.hpp"
+#include "graph/expr.hpp"
+#include "vpps/script_gen.hpp"
+
+namespace vpps {
+
+/** Outcome of one forward-backward kernel invocation. */
+struct RunResult
+{
+    /** Persistent-kernel duration (launch + makespan), us. */
+    double kernel_us = 0.0;
+
+    /** Extra kernels (staged gradient GEMMs + matrix updates) when
+     *  gradients are not register-cached, us. */
+    double extra_kernel_us = 0.0;
+
+    /** Batch loss read back from the device. */
+    float loss = 0.0f;
+
+    /** Mean per-VPP busy time (load-balance diagnostics), us. */
+    double mean_vpp_us = 0.0;
+
+    /** Max per-VPP time = the kernel body duration, us. */
+    double makespan_us = 0.0;
+
+    /** Instructions interpreted across all VPPs. */
+    std::uint64_t instructions = 0;
+};
+
+/** Interprets generated scripts against the simulated device. */
+class ScriptExecutor
+{
+  public:
+    explicit ScriptExecutor(gpusim::Device& device);
+
+    /**
+     * Run one batch's script: prologue (weight load, gradient-register
+     * init), interpretation loop, epilogue (gradient application), and
+     * -- for the uncached-gradient strategy -- the staged GEMMs and
+     * dense matrix updates as separate kernel launches.
+     */
+    RunResult run(const CompiledKernel& kernel,
+                  const GeneratedBatch& batch, graph::Model& model,
+                  graph::ComputationGraph& cg);
+
+  private:
+    gpusim::Device& device_;
+};
+
+} // namespace vpps

@@ -1,0 +1,70 @@
+#include "vpps/tuner.hpp"
+
+#include "common/logging.hpp"
+
+namespace vpps {
+
+ProfileGuidedTuner::ProfileGuidedTuner(int max_rpw,
+                                       int batches_per_candidate)
+    : max_rpw_(max_rpw), per_candidate_(batches_per_candidate)
+{
+    if (max_rpw < 1)
+        common::panic("ProfileGuidedTuner: max_rpw must be >= 1");
+    if (max_rpw == 1) {
+        best_ = 1;
+        done_ = true;
+        profile_.emplace_back(1, 0.0);
+    }
+}
+
+int
+ProfileGuidedTuner::candidate() const
+{
+    return done_ ? best_ : current_;
+}
+
+void
+ProfileGuidedTuner::record(double batch_us)
+{
+    if (done_)
+        return;
+    acc_us_ += batch_us;
+    if (++measured_ < per_candidate_)
+        return;
+
+    const double mean = acc_us_ / per_candidate_;
+    profile_.emplace_back(current_, mean);
+    acc_us_ = 0.0;
+    measured_ = 0;
+
+    if (profile_.size() == 1 || mean < best_us_) {
+        best_ = current_;
+        best_us_ = mean;
+        if (current_ == max_rpw_) {
+            finish();
+            return;
+        }
+        ++current_;
+    } else {
+        // Performance degraded: stop and keep the previous best
+        // (Section III-A1).
+        finish();
+    }
+}
+
+void
+ProfileGuidedTuner::finish()
+{
+    done_ = true;
+}
+
+TuneResult
+ProfileGuidedTuner::result() const
+{
+    TuneResult r;
+    r.best_rpw = best_;
+    r.profile = profile_;
+    return r;
+}
+
+} // namespace vpps

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Profile-guided load-granularity (rpw) tuning (Section III-A1).
+ *
+ * Because each row is owned by one warp, the partition-size decision
+ * reduces to choosing rpw -- the rows each warp processes -- which has
+ * only a handful of valid values. The framework compiles a kernel per
+ * candidate, trains real batches on increasing rpw values, and locks
+ * in the best one as soon as performance degrades (or the largest
+ * valid rpw is reached). The measurements come from genuine training
+ * batches, so profiling cost amortizes over the run.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace vpps {
+
+/** Outcome of the profile-guided search. */
+struct TuneResult
+{
+    int best_rpw = 1;
+    /** (rpw, mean batch time us) for every candidate measured. */
+    std::vector<std::pair<int, double>> profile;
+};
+
+/**
+ * Incremental hill-climbing tuner over rpw in [1, max_rpw].
+ *
+ * Call record() once per training batch with the measured duration;
+ * candidate() names the rpw the next batch should use. Once done()
+ * turns true, candidate() returns the winner forever.
+ */
+class ProfileGuidedTuner
+{
+  public:
+    /**
+     * @param max_rpw largest valid rpw (DistributionPlan::maxRpw)
+     * @param batches_per_candidate training batches averaged per
+     *        candidate before moving on
+     */
+    ProfileGuidedTuner(int max_rpw, int batches_per_candidate = 4);
+
+    /** @return the rpw the next training batch should run with. */
+    int candidate() const;
+
+    /** Record the measured duration of the batch just trained. */
+    void record(double batch_us);
+
+    /** @return true once the search has locked in a winner. */
+    bool done() const { return done_; }
+
+    /** @return the result; valid once done(). */
+    TuneResult result() const;
+
+  private:
+    void finish();
+
+    int max_rpw_;
+    int per_candidate_;
+    int current_ = 1;
+    int measured_ = 0;
+    double acc_us_ = 0.0;
+    bool done_ = false;
+    int best_ = 1;
+    double best_us_ = 0.0;
+    std::vector<std::pair<int, double>> profile_;
+};
+
+} // namespace vpps

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The core guarantee, swept across every application: training any
+ * of the seven dynamic nets through the VPPS persistent kernel
+ * produces the same losses as the per-node baseline -- and this holds
+ * on non-default device geometries (fewer SMs, smaller register
+ * files), where the distribution plan and script differ entirely.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "data/ner_corpus.hpp"
+#include "data/treebank.hpp"
+#include "data/vocab.hpp"
+#include "exec/naive_executor.hpp"
+#include "models/bigru_tagger.hpp"
+#include "models/bilstm_char_tagger.hpp"
+#include "models/bilstm_tagger.hpp"
+#include "models/rvnn.hpp"
+#include "models/td_lstm.hpp"
+#include "models/td_rnn.hpp"
+#include "models/tree_lstm.hpp"
+#include "train/harness.hpp"
+#include "vpps/handle.hpp"
+
+namespace {
+
+struct Factory
+{
+    gpusim::Device device;
+    common::Rng data_rng{121};
+    data::Vocab vocab{300, 10000};
+    data::Treebank bank{vocab, 8, data_rng, 7.0, 4, 10};
+    data::NerCorpus corpus{vocab, 8, data_rng, 7.0, 4, 10};
+    common::Rng param_rng{122};
+
+    explicit Factory(const gpusim::DeviceSpec& spec)
+        : device(spec, 48u << 20)
+    {
+    }
+
+    std::unique_ptr<models::BenchmarkModel>
+    make(const std::string& app)
+    {
+        if (app == "Tree-LSTM")
+            return std::make_unique<models::TreeLstmModel>(
+                bank, vocab, 16, 32, device, param_rng);
+        if (app == "BiLSTM")
+            return std::make_unique<models::BiLstmTagger>(
+                corpus, vocab, 16, 24, 16, device, param_rng);
+        if (app == "BiLSTMwChar")
+            return std::make_unique<models::BiLstmCharTagger>(
+                corpus, vocab, 16, 24, 16, 8, device, param_rng);
+        if (app == "BiGRU")
+            return std::make_unique<models::BiGruTagger>(
+                corpus, vocab, 16, 24, 16, device, param_rng);
+        if (app == "TD-RNN")
+            return std::make_unique<models::TdRnnModel>(
+                bank, vocab, 32, device, param_rng);
+        if (app == "TD-LSTM")
+            return std::make_unique<models::TdLstmModel>(
+                bank, vocab, 32, device, param_rng);
+        return std::make_unique<models::RvnnModel>(
+            bank, vocab, 32, device, param_rng);
+    }
+};
+
+void
+expectVppsMatchesBaseline(const std::string& app,
+                          const gpusim::DeviceSpec& spec)
+{
+    Factory vf(spec), nf(spec);
+    auto vm = vf.make(app);
+    auto nm = nf.make(app);
+
+    vpps::VppsOptions opts;
+    opts.rpw = 2;
+    opts.async = false;
+    vpps::Handle handle(vm->model(), vf.device, opts);
+    exec::NaiveExecutor naive(nf.device, gpusim::HostSpec{});
+
+    for (int step = 0; step < 2; ++step) {
+        graph::ComputationGraph cg_v;
+        const float lv = handle.fb(
+            vm->model(), cg_v,
+            train::buildSuperGraph(
+                *vm, cg_v, static_cast<std::size_t>(step) * 2, 2));
+        graph::ComputationGraph cg_n;
+        const float ln = naive.trainBatch(
+            nm->model(), cg_n,
+            train::buildSuperGraph(
+                *nm, cg_n, static_cast<std::size_t>(step) * 2, 2));
+        ASSERT_TRUE(std::isfinite(lv));
+        EXPECT_NEAR(lv, ln, 2e-3 * std::abs(ln) + 2e-3)
+            << app << " step " << step;
+    }
+}
+
+class AllAppsEquivalenceTest
+    : public testing::TestWithParam<const char*>
+{
+};
+
+std::string
+appIdent(const testing::TestParamInfo<const char*>& info)
+{
+    std::string n = info.param;
+    for (auto& c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+TEST_P(AllAppsEquivalenceTest, OnTitanV)
+{
+    expectVppsMatchesBaseline(GetParam(), gpusim::DeviceSpec{});
+}
+
+TEST_P(AllAppsEquivalenceTest, OnSmallerGpu)
+{
+    // A hypothetical 20-SM part with 128 KB register files: the
+    // distribution spreads rows over far fewer VPPs and the capacity
+    // decisions differ, but the math must not.
+    gpusim::DeviceSpec small;
+    small.num_sms = 20;
+    small.regfile_bytes_per_sm = 128 * 1024;
+    expectVppsMatchesBaseline(GetParam(), small);
+}
+
+INSTANTIATE_TEST_SUITE_P(SevenApps, AllAppsEquivalenceTest,
+                         testing::Values("Tree-LSTM", "BiLSTM",
+                                         "BiLSTMwChar", "BiGRU",
+                                         "TD-RNN", "TD-LSTM", "RvNN"),
+                         appIdent);
+
+} // namespace

@@ -1,0 +1,149 @@
+/** @file Unit tests for kernel specialization and the JIT cost model
+ *  (Section III-A2, Fig 5, Table II). */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "vpps/codegen.hpp"
+
+namespace {
+
+struct CodegenRig
+{
+    gpusim::Device device{gpusim::DeviceSpec{}, 64u << 20};
+    graph::Model model;
+    common::Rng rng{5};
+
+    explicit CodegenRig(std::uint32_t cols, int n_matrices = 3,
+                        std::uint32_t rows = 256)
+    {
+        for (int i = 0; i < n_matrices; ++i)
+            model.addWeightMatrix("W" + std::to_string(i), rows, cols);
+        model.allocate(device, rng);
+    }
+
+    vpps::CompiledKernel
+    compile(int rpw = 2, bool grads = true)
+    {
+        vpps::VppsOptions opts;
+        opts.cache_gradients = grads;
+        auto plan = vpps::DistributionPlan::buildAuto(
+            model, device.spec(), opts, rpw);
+        const vpps::KernelSpecializer spec(device.spec());
+        return spec.specialize(model, plan);
+    }
+};
+
+TEST(Codegen, SourceHasLiteralRegisterArray)
+{
+    CodegenRig rig(256);
+    const auto kernel = rig.compile();
+    const int regs = kernel.plan.partitionsPerCta() *
+                     kernel.plan.regsPerThreadPerPartition();
+    // The array size must be a literal compile-time constant --
+    // otherwise nvcc would demote it to local memory (Section II).
+    EXPECT_NE(kernel.source.find("float reg_cache[" +
+                                 std::to_string(regs) + "];"),
+              std::string::npos);
+}
+
+TEST(Codegen, RoutineCallsCarryTemplateArguments)
+{
+    CodegenRig rig(256);
+    const auto kernel = rig.compile(2);
+    // load_rows / mvm instantiations must pass rpw and the per-row
+    // iteration count (ceil(256/32) = 8) as template arguments.
+    EXPECT_NE(kernel.source.find("load_rows<"), std::string::npos);
+    EXPECT_NE(kernel.source.find(", 2, 8>"), std::string::npos);
+    EXPECT_NE(kernel.source.find("mvm<2, 8>"), std::string::npos);
+}
+
+TEST(Codegen, EveryMatrixGetsSwitchCases)
+{
+    CodegenRig rig(128, 4);
+    const auto kernel = rig.compile();
+    for (graph::ParamId m : rig.model.weightMatrices()) {
+        EXPECT_NE(kernel.source.find("case MVM_" + std::to_string(m)),
+                  std::string::npos);
+        EXPECT_NE(
+            kernel.source.find("case MVM_T_" + std::to_string(m)),
+            std::string::npos);
+        EXPECT_NE(
+            kernel.source.find("case OUTER_" + std::to_string(m)),
+            std::string::npos);
+    }
+}
+
+TEST(Codegen, GradientRoutinesFollowStrategy)
+{
+    CodegenRig rig(128);
+    const auto cached = rig.compile(2, true);
+    EXPECT_NE(cached.source.find("apply_update<"), std::string::npos);
+    const auto fallback = rig.compile(2, false);
+    EXPECT_EQ(fallback.source.find("case OUTER_"), std::string::npos)
+        << "no outer-product cases without cached gradients";
+    EXPECT_NE(fallback.source.find("CUBLAS"), std::string::npos);
+}
+
+TEST(Codegen, IdenticalShapesShareInstantiations)
+{
+    CodegenRig same(256, 6);
+    CodegenRig mixed(256, 3);
+    mixed.model = graph::Model();
+    // Rebuild mixed with three distinct shapes.
+    mixed.model.addWeightMatrix("A", 256, 128);
+    mixed.model.addWeightMatrix("B", 256, 256);
+    mixed.model.addWeightMatrix("C", 128, 64);
+    common::Rng rng(6);
+    gpusim::Device device(gpusim::DeviceSpec{}, 64u << 20);
+    mixed.model.allocate(device, rng);
+    vpps::VppsOptions opts;
+    auto plan = vpps::DistributionPlan::buildAuto(
+        mixed.model, device.spec(), opts, 2);
+    const vpps::KernelSpecializer spec(device.spec());
+    const auto mixed_kernel = spec.specialize(mixed.model, plan);
+
+    const auto same_kernel = same.compile();
+    EXPECT_LT(same_kernel.num_instantiations,
+              mixed_kernel.num_instantiations)
+        << "six identical matrices share one instantiation shape";
+}
+
+TEST(Codegen, CompileTimeGrowsWithRowLength)
+{
+    // Table II's structure: max row length drives NVRTC cost
+    // superlinearly (256 -> ~11 s, 512 -> ~28 s, 1024 -> ~74 s).
+    CodegenRig c256(256);
+    CodegenRig c512(512);
+    CodegenRig c1024(1024, 3, 128);
+    const double t256 = c256.compile().prog_compile_s;
+    const double t512 = c512.compile().prog_compile_s;
+    const double t1024 = c1024.compile().prog_compile_s;
+    EXPECT_GT(t512, 2.0 * t256);
+    EXPECT_GT(t1024, 2.0 * t512);
+    EXPECT_NEAR(t256, 11.0, 3.0);
+    EXPECT_NEAR(t512, 28.5, 6.0);
+    EXPECT_NEAR(t1024, 74.0, 15.0);
+}
+
+TEST(Codegen, ModuleLoadTracksProgramCompilation)
+{
+    CodegenRig rig(256);
+    const auto kernel = rig.compile();
+    EXPECT_GT(kernel.module_load_s, 0.0);
+    EXPECT_LT(kernel.module_load_s, kernel.prog_compile_s);
+    EXPECT_NEAR(kernel.module_load_s / kernel.prog_compile_s, 0.64,
+                0.08);
+}
+
+TEST(Codegen, RequiresAllocatedModel)
+{
+    graph::Model model;
+    model.addWeightMatrix("W", 64, 64);
+    gpusim::DeviceSpec spec;
+    const vpps::KernelSpecializer specializer(spec);
+    vpps::DistributionPlan plan; // placeholder
+    EXPECT_EXIT(specializer.specialize(model, plan),
+                testing::ExitedWithCode(1), "allocated");
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/** @file Unit tests for the synthetic corpora. */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "data/ner_corpus.hpp"
+#include "data/treebank.hpp"
+#include "data/vocab.hpp"
+
+namespace {
+
+TEST(Vocab, FrequenciesAreZipfMonotone)
+{
+    data::Vocab vocab(1000);
+    for (std::uint32_t w = 1; w < 1000; ++w)
+        EXPECT_LE(vocab.frequency(w), vocab.frequency(w - 1));
+    EXPECT_GT(vocab.frequency(0), 10000u);
+}
+
+TEST(Vocab, RareWordsExistForCharPath)
+{
+    data::Vocab vocab(10000);
+    std::size_t rare = 0;
+    for (std::uint32_t w = 0; w < 10000; ++w)
+        rare += vocab.isRare(w) ? 1 : 0;
+    EXPECT_GT(rare, 100u)
+        << "the BiLSTMwChar rare-word path needs rare types";
+    EXPECT_LT(rare, 10000u);
+    EXPECT_FALSE(vocab.isRare(0));
+}
+
+TEST(Vocab, SamplingFavorsFrequentWords)
+{
+    data::Vocab vocab(5000);
+    common::Rng rng(31);
+    std::size_t head = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (vocab.sample(rng) < 50)
+            ++head;
+    EXPECT_GT(head, static_cast<std::size_t>(n) / 4)
+        << "top-50 types must dominate a Zipf corpus";
+}
+
+TEST(Vocab, CharsAreDeterministicAndBounded)
+{
+    data::Vocab vocab(100);
+    const auto a = vocab.chars(42);
+    const auto b = vocab.chars(42);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a.size(), 3u);
+    EXPECT_LE(a.size(), 10u);
+    for (auto c : a)
+        EXPECT_LT(c, data::Vocab::kAlphabet);
+    EXPECT_NE(vocab.chars(1), vocab.chars(2));
+}
+
+TEST(Treebank, TreesAreWellFormedBinaryParses)
+{
+    common::Rng rng(33);
+    data::Vocab vocab(500);
+    data::Treebank bank(vocab, 50, rng, 12.0, 4, 30);
+    ASSERT_EQ(bank.size(), 50u);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        const auto& t = bank.sentence(i);
+        EXPECT_GE(t.length(), 4u);
+        EXPECT_LE(t.length(), 30u);
+        EXPECT_LT(t.label, data::Treebank::kNumLabels);
+        // A binary tree over n leaves has 2n - 1 nodes.
+        EXPECT_EQ(t.nodes.size(), 2 * t.length() - 1);
+        // Leaves visited left-to-right spell the sentence.
+        std::vector<std::uint32_t> leaves;
+        std::function<void(std::int32_t)> walk =
+            [&](std::int32_t n) {
+                const auto& node =
+                    t.nodes[static_cast<std::size_t>(n)];
+                if (node.isLeaf()) {
+                    leaves.push_back(node.word);
+                    return;
+                }
+                walk(node.left);
+                walk(node.right);
+            };
+        walk(t.root);
+        EXPECT_EQ(leaves, t.words);
+        EXPECT_GE(t.depth(), 1u);
+        EXPECT_LT(t.depth(), t.length());
+    }
+}
+
+TEST(Treebank, ShapesVaryAcrossInputs)
+{
+    common::Rng rng(34);
+    data::Vocab vocab(500);
+    data::Treebank bank(vocab, 64, rng);
+    std::set<std::size_t> lengths, depths;
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        lengths.insert(bank.sentence(i).length());
+        depths.insert(bank.sentence(i).depth());
+    }
+    EXPECT_GT(lengths.size(), 8u)
+        << "dynamic nets need varying input sizes";
+    EXPECT_GT(depths.size(), 5u)
+        << "and varying tree shapes";
+}
+
+TEST(Treebank, GenerationIsDeterministic)
+{
+    data::Vocab vocab(500);
+    common::Rng a(35), b(35);
+    data::Treebank ba(vocab, 10, a);
+    data::Treebank bb(vocab, 10, b);
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(ba.sentence(i).words, bb.sentence(i).words);
+        EXPECT_EQ(ba.sentence(i).label, bb.sentence(i).label);
+    }
+}
+
+TEST(NerCorpus, TagsAreValidIobSequences)
+{
+    common::Rng rng(36);
+    data::Vocab vocab(2000);
+    data::NerCorpus corpus(vocab, 40, rng);
+    std::size_t entities = 0;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const auto& s = corpus.sentence(i);
+        ASSERT_EQ(s.words.size(), s.tags.size());
+        for (std::size_t j = 0; j < s.tags.size(); ++j) {
+            EXPECT_LT(s.tags[j], data::NerCorpus::kNumTags);
+            // An I- tag (even, nonzero) must continue the matching
+            // B- tag or another I- of the same type.
+            if (s.tags[j] != 0 && s.tags[j] % 2 == 0) {
+                ASSERT_GT(j, 0u);
+                EXPECT_TRUE(s.tags[j - 1] == s.tags[j] - 1 ||
+                            s.tags[j - 1] == s.tags[j])
+                    << "I-tag continuation broken at " << j;
+            }
+            entities += s.tags[j] % 2 == 1 ? 1 : 0;
+        }
+    }
+    EXPECT_GT(entities, 20u) << "entities must actually occur";
+}
+
+TEST(NerCorpus, LengthsVary)
+{
+    common::Rng rng(37);
+    data::Vocab vocab(2000);
+    data::NerCorpus corpus(vocab, 64, rng);
+    std::set<std::size_t> lengths;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        lengths.insert(corpus.sentence(i).length());
+    EXPECT_GT(lengths.size(), 8u);
+}
+
+} // namespace

@@ -1,0 +1,64 @@
+/** @file Tests for the script disassembler. */
+#include <gtest/gtest.h>
+
+#include "vpps/disasm.hpp"
+
+namespace {
+
+vpps::Script
+tinyScript()
+{
+    vpps::Script script(3);
+    script.emit(0, vpps::Opcode::MatVec, 2, {100, 200});
+    script.emit(0, vpps::Opcode::Signal, 0, {});
+    script.emit(2, vpps::Opcode::Wait, 0, {});
+    script.emit(2, vpps::Opcode::Tanh, 64, {300, 200});
+    script.setExpectedSignals(0, 1);
+    script.seal();
+    return script;
+}
+
+TEST(Disasm, GoldenListing)
+{
+    const auto script = tinyScript();
+    const std::string text = vpps::disassemble(script);
+    const std::string expected =
+        "vpp 000: mvm         m=2  [+100, +200]\n"
+        "vpp 000: signal      b=0\n"
+        "vpp 002: wait        b=0\n"
+        "vpp 002: tanh        len=64  [+300, +200]\n";
+    EXPECT_EQ(text, expected);
+}
+
+TEST(Disasm, FiltersByVpp)
+{
+    const auto script = tinyScript();
+    vpps::DisasmOptions opts;
+    opts.only_vpp = 2;
+    const std::string text = vpps::disassemble(script, opts);
+    EXPECT_EQ(text.find("vpp 000"), std::string::npos);
+    EXPECT_NE(text.find("vpp 002"), std::string::npos);
+}
+
+TEST(Disasm, ShowsInstructionSizes)
+{
+    const auto script = tinyScript();
+    vpps::DisasmOptions opts;
+    opts.show_sizes = true;
+    const std::string text = vpps::disassemble(script, opts);
+    EXPECT_NE(text.find("; 12B"), std::string::npos)
+        << "mvm/tanh are 12 bytes";
+    EXPECT_NE(text.find("; 4B"), std::string::npos)
+        << "signal/wait are 4 bytes";
+}
+
+TEST(Disasm, SummaryCountsEverything)
+{
+    const auto script = tinyScript();
+    const std::string s = vpps::summarize(script);
+    EXPECT_NE(s.find("4 instructions"), std::string::npos);
+    EXPECT_NE(s.find("1 barriers"), std::string::npos);
+    EXPECT_NE(s.find("1 signals / 1 waits"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,234 @@
+/** @file Unit tests for node placement, kernel accounting, and the
+ *  four baseline scheduling strategies. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "exec/agenda_batch_executor.hpp"
+#include "exec/depth_batch_executor.hpp"
+#include "exec/fold_executor.hpp"
+#include "exec/kernels.hpp"
+#include "exec/naive_executor.hpp"
+#include "graph/level_sort.hpp"
+
+namespace {
+
+struct ExecRig
+{
+    gpusim::Device device{gpusim::DeviceSpec{}, 4u << 20};
+    graph::Model model;
+    graph::ParamId w, b, table;
+
+    ExecRig()
+    {
+        w = model.addWeightMatrix("W", 8, 8);
+        b = model.addBias("b", 8);
+        table = model.addLookup("E", 16, 8);
+        common::Rng rng(1);
+        model.allocate(device, rng);
+    }
+
+    /** A small diamond-shaped graph ending in a loss. */
+    graph::Expr
+    buildGraph(graph::ComputationGraph& cg, std::uint32_t row = 0)
+    {
+        auto e = graph::lookup(cg, model, table, row);
+        auto h1 = graph::tanh(graph::matvec(model, w, e) +
+                              graph::parameter(cg, model, b));
+        auto h2 = graph::sigmoid(graph::matvec(model, w, h1));
+        auto mixed = graph::cmult(h1, h2);
+        return graph::pickNegLogSoftmax(mixed, 3);
+    }
+};
+
+TEST(Placement, ParamVecAliasesMasterCopy)
+{
+    ExecRig rig;
+    graph::ComputationGraph cg;
+    auto loss = rig.buildGraph(cg);
+    const auto live = graph::reachableFrom(cg, loss.id);
+    exec::placeForward(rig.device, rig.model, cg, live);
+    for (graph::NodeId id = 0; id < cg.size(); ++id) {
+        const auto& n = cg.node(id);
+        if (n.op == graph::OpType::ParamVec) {
+            EXPECT_EQ(n.fwd, rig.model.param(n.param).value)
+                << "bias leaves must alias, not copy";
+        } else if (live[id]) {
+            EXPECT_NE(n.fwd, gpusim::DeviceMemory::kNullOffset)
+                << graph::opName(n.op);
+        }
+    }
+}
+
+TEST(Placement, BackwardAllocatesGradsAndSeedsLoss)
+{
+    ExecRig rig;
+    graph::ComputationGraph cg;
+    auto loss = rig.buildGraph(cg);
+    const auto live = graph::reachableFrom(cg, loss.id);
+    exec::placeForward(rig.device, rig.model, cg, live);
+    const double zeroed = exec::placeBackward(rig.device, rig.model,
+                                              cg, live, loss.id);
+    EXPECT_GT(zeroed, 0.0);
+    EXPECT_EQ(rig.device.memory().data(cg.node(loss.id).grad)[0],
+              1.0f);
+    // Bias gradient aliases the parameter gradient buffer.
+    for (graph::NodeId id = 0; id < cg.size(); ++id) {
+        const auto& n = cg.node(id);
+        if (live[id] && n.op == graph::OpType::ParamVec) {
+            EXPECT_EQ(n.grad, rig.model.param(n.param).grad);
+        }
+    }
+}
+
+TEST(Kernels, MatVecGroupLoadsWeightsOncePerGroup)
+{
+    ExecRig rig;
+    graph::ComputationGraph cg;
+    auto x1 = graph::input(cg, std::vector<float>(8, 1.0f));
+    auto x2 = graph::input(cg, std::vector<float>(8, 2.0f));
+    auto m1 = graph::matvec(rig.model, rig.w, x1);
+    auto m2 = graph::matvec(rig.model, rig.w, x2);
+    auto s = graph::add({m1, m2});
+    auto loss = graph::pickNegLogSoftmax(s, 0);
+    const auto live = graph::reachableFrom(cg, loss.id);
+    exec::placeForward(rig.device, rig.model, cg, live);
+
+    rig.device.traffic().reset();
+    exec::runForwardGroup(rig.device, rig.model, cg, {m1.id, m2.id});
+    const double w_bytes = rig.model.param(rig.w).bytes();
+    EXPECT_DOUBLE_EQ(
+        rig.device.traffic().loadBytes(gpusim::MemSpace::Weights),
+        w_bytes)
+        << "a batched group loads W once, not once per node";
+}
+
+/** Every strategy must produce a dependency-respecting cover of the
+ *  live kernel-launching nodes. */
+class ScheduleValidityTest
+    : public testing::TestWithParam<const char*>
+{
+  protected:
+    std::unique_ptr<exec::Executor>
+    make(gpusim::Device& device) const
+    {
+        const std::string which = GetParam();
+        const gpusim::HostSpec host;
+        if (which == "naive")
+            return std::make_unique<exec::NaiveExecutor>(device, host);
+        if (which == "depth")
+            return std::make_unique<exec::DepthBatchExecutor>(device,
+                                                              host);
+        if (which == "agenda")
+            return std::make_unique<exec::AgendaBatchExecutor>(device,
+                                                               host);
+        return std::make_unique<exec::FoldExecutor>(device, host);
+    }
+};
+
+TEST_P(ScheduleValidityTest, TrainsAndProducesFiniteLoss)
+{
+    ExecRig rig;
+    auto executor = make(rig.device);
+    graph::ComputationGraph cg;
+    std::vector<graph::Expr> losses;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        losses.push_back(rig.buildGraph(cg, i));
+    auto loss = graph::sumLosses(std::move(losses));
+    const float value =
+        executor->trainBatch(rig.model, cg, loss);
+    EXPECT_TRUE(std::isfinite(value));
+    EXPECT_GT(value, 0.0f);
+    const auto& stats = executor->stats();
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_GT(stats.launches, 0u);
+    EXPECT_GT(stats.cpu_us, 0.0);
+    EXPECT_GT(stats.gpu_us, 0.0);
+    // The pool must be fully recycled between batches.
+    EXPECT_EQ(rig.device.memory().used(),
+              rig.model.totalScalars() * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ScheduleValidityTest,
+                         testing::Values("naive", "depth", "agenda",
+                                         "fold"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+TEST(Strategies, BatchingReducesLaunchesVersusNaive)
+{
+    auto launches = [](auto make_executor) {
+        ExecRig rig;
+        auto executor = make_executor(rig.device);
+        graph::ComputationGraph cg;
+        std::vector<graph::Expr> losses;
+        for (std::uint32_t i = 0; i < 8; ++i)
+            losses.push_back(rig.buildGraph(cg, i));
+        auto loss = graph::sumLosses(std::move(losses));
+        executor->trainBatch(rig.model, cg, loss);
+        return executor->stats().launches;
+    };
+    const gpusim::HostSpec host;
+    const auto naive = launches([&](gpusim::Device& d) {
+        return std::make_unique<exec::NaiveExecutor>(d, host);
+    });
+    const auto depth = launches([&](gpusim::Device& d) {
+        return std::make_unique<exec::DepthBatchExecutor>(d, host);
+    });
+    const auto agenda = launches([&](gpusim::Device& d) {
+        return std::make_unique<exec::AgendaBatchExecutor>(d, host);
+    });
+    EXPECT_LT(depth, naive / 2);
+    EXPECT_LE(agenda, depth)
+        << "agenda batching merges at least as well as depth";
+}
+
+TEST(Strategies, GroupSizeCapIsHonored)
+{
+    graph::ComputationGraph cg;
+    ExecRig rig;
+    std::vector<graph::NodeId> matvecs;
+    for (int i = 0; i < 10; ++i) {
+        auto x = graph::input(cg, std::vector<float>(8, 1.0f));
+        matvecs.push_back(graph::matvec(rig.model, rig.w, x).id);
+    }
+    const auto groups = exec::groupBySignature(cg, matvecs, 4);
+    EXPECT_EQ(groups.size(), 3u);
+    std::size_t covered = 0;
+    for (const auto& g : groups) {
+        EXPECT_LE(g.size(), 4u);
+        covered += g.size();
+    }
+    EXPECT_EQ(covered, matvecs.size());
+}
+
+TEST(Strategies, SparseEmbeddingUpdateTouchesOnlyUsedRows)
+{
+    ExecRig rig;
+    graph::ComputationGraph cg;
+    auto loss = rig.buildGraph(cg, 5); // touches row 5 only
+    const auto live = graph::reachableFrom(cg, loss.id);
+    exec::placeForward(rig.device, rig.model, cg, live);
+    exec::placeBackward(rig.device, rig.model, cg, live, loss.id);
+
+    rig.device.traffic().reset();
+    exec::runParameterUpdates(rig.device, rig.model, cg, live);
+    // Dense params: W (64 floats) and b (8): update loads value+grad.
+    // Lookup: only 1 of 16 rows (8 floats).
+    const double expected =
+        2.0 * (rig.model.param(rig.w).bytes() +
+               rig.model.param(rig.b).bytes()) +
+        2.0 * 8 * 4.0;
+    const double actual =
+        rig.device.traffic().loadBytes(gpusim::MemSpace::Weights) +
+        rig.device.traffic().loadBytes(
+            gpusim::MemSpace::WeightGrads) +
+        rig.device.traffic().loadBytes(gpusim::MemSpace::Params) +
+        rig.device.traffic().loadBytes(gpusim::MemSpace::ParamGrads);
+    EXPECT_DOUBLE_EQ(actual, expected);
+}
+
+} // namespace

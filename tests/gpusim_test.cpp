@@ -1,0 +1,216 @@
+/** @file Unit tests for the GPU simulator substrate. */
+#include <gtest/gtest.h>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/persistent_sim.hpp"
+
+namespace {
+
+using gpusim::DeviceSpec;
+using gpusim::KernelCost;
+using gpusim::MemSpace;
+
+TEST(DeviceMemory, BumpAllocatesSequentially)
+{
+    gpusim::DeviceMemory mem(1024);
+    const auto a = mem.allocate(100, MemSpace::Weights);
+    const auto b = mem.allocate(50, MemSpace::Activations);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 100u);
+    EXPECT_EQ(mem.used(), 150u);
+}
+
+TEST(DeviceMemory, AllocationsAreZeroed)
+{
+    gpusim::DeviceMemory mem(256);
+    const auto a = mem.allocate(64, MemSpace::Activations);
+    mem.data(a)[3] = 7.0f;
+    mem.resetTo(a);
+    const auto b = mem.allocate(64, MemSpace::Activations);
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(mem.data(b)[3], 0.0f)
+        << "recycled region must be re-zeroed";
+}
+
+TEST(DeviceMemory, ResetToRollsBackFrontier)
+{
+    gpusim::DeviceMemory mem(256);
+    mem.allocate(10, MemSpace::Weights);
+    const auto mark = mem.mark();
+    mem.allocate(100, MemSpace::Activations);
+    mem.resetTo(mark);
+    EXPECT_EQ(mem.used(), 10u);
+}
+
+TEST(DeviceMemory, ExhaustionIsFatal)
+{
+    gpusim::DeviceMemory mem(100);
+    EXPECT_EXIT(mem.allocate(101, MemSpace::Weights),
+                testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(TrafficStats, TracksPerSpaceAndTotals)
+{
+    gpusim::TrafficStats t;
+    t.addLoad(MemSpace::Weights, 100.0);
+    t.addLoad(MemSpace::Activations, 50.0);
+    t.addStore(MemSpace::ActGrads, 25.0);
+    EXPECT_DOUBLE_EQ(t.loadBytes(MemSpace::Weights), 100.0);
+    EXPECT_DOUBLE_EQ(t.totalLoadBytes(), 150.0);
+    EXPECT_DOUBLE_EQ(t.totalStoreBytes(), 25.0);
+    gpusim::TrafficStats u;
+    u.addLoad(MemSpace::Weights, 1.0);
+    u.merge(t);
+    EXPECT_DOUBLE_EQ(u.loadBytes(MemSpace::Weights), 101.0);
+    u.reset();
+    EXPECT_DOUBLE_EQ(u.totalLoadBytes(), 0.0);
+}
+
+TEST(CostModel, MemoryBoundKernelScalesWithBytes)
+{
+    DeviceSpec spec;
+    KernelCost small, big;
+    small.dram_load_bytes = 1e6;
+    small.parallel_threads = spec.saturation_threads;
+    big = small;
+    big.dram_load_bytes = 2e6;
+    const double t1 = gpusim::kernelBodyUs(spec, small);
+    const double t2 = gpusim::kernelBodyUs(spec, big);
+    EXPECT_GT(t2, t1);
+    // At saturation, doubling bytes roughly doubles the transfer
+    // component.
+    const double latency = spec.dram_latency_ns * 1e-3;
+    EXPECT_NEAR((t2 - latency) / (t1 - latency), 2.0, 0.01);
+}
+
+TEST(CostModel, SmallKernelsAreDerated)
+{
+    DeviceSpec spec;
+    KernelCost cost;
+    cost.dram_load_bytes = 1e5;
+    cost.parallel_threads = 256; // one CTA's worth
+    const double small = gpusim::kernelBodyUs(spec, cost);
+    cost.parallel_threads = spec.saturation_threads;
+    const double saturated = gpusim::kernelBodyUs(spec, cost);
+    EXPECT_GT(small, 10.0 * saturated)
+        << "underutilized kernels must run far below peak rates";
+}
+
+TEST(CostModel, RooflineTakesMaxOfComputeAndMemory)
+{
+    DeviceSpec spec;
+    KernelCost compute_bound;
+    compute_bound.flops = 1e9;
+    compute_bound.parallel_threads = spec.saturation_threads;
+    KernelCost both = compute_bound;
+    both.dram_load_bytes = 1e3; // negligible
+    EXPECT_NEAR(gpusim::kernelBodyUs(spec, compute_bound),
+                gpusim::kernelBodyUs(spec, both), 1e-6);
+}
+
+TEST(Device, LaunchChargesOverheadAndCountsLaunches)
+{
+    gpusim::Device device(DeviceSpec{}, 1024);
+    KernelCost empty;
+    empty.latency_hops = 0.0;
+    const double d = device.launchKernel(empty);
+    EXPECT_DOUBLE_EQ(d, device.spec().kernel_launch_us);
+    EXPECT_EQ(device.numLaunches(), 1u);
+    EXPECT_DOUBLE_EQ(device.busyUs(), d);
+    device.resetStats();
+    EXPECT_EQ(device.numLaunches(), 0u);
+    EXPECT_DOUBLE_EQ(device.busyUs(), 0.0);
+}
+
+TEST(PersistentSim, BarrierReleasesAtLastSignaler)
+{
+    DeviceSpec spec;
+    gpusim::PersistentSim sim(spec, 4, 1);
+    sim.setExpectedSignals(0, 2);
+    sim.charge(0, 10.0);
+    sim.charge(1, 50.0);
+    sim.signal(0, 0);
+    EXPECT_FALSE(sim.barrierReady(0));
+    sim.signal(0, 1);
+    ASSERT_TRUE(sim.barrierReady(0));
+    sim.wait(0, 2);
+    // VPP 2 must not resume before the slowest signaler (VPP 1 at
+    // ~50us) plus the wait overhead.
+    EXPECT_GE(sim.timeOf(2), 50.0 + spec.barrier_wait_us);
+}
+
+TEST(PersistentSim, WaitDoesNotRewindFastVpps)
+{
+    DeviceSpec spec;
+    gpusim::PersistentSim sim(spec, 2, 1);
+    sim.setExpectedSignals(0, 1);
+    sim.signal(0, 0);
+    sim.charge(1, 1e6); // already far past the release
+    const double before = sim.timeOf(1);
+    sim.wait(0, 1);
+    EXPECT_DOUBLE_EQ(sim.timeOf(1), before);
+}
+
+TEST(PersistentSim, MakespanIsMaxOverVpps)
+{
+    DeviceSpec spec;
+    gpusim::PersistentSim sim(spec, 3, 2);
+    sim.charge(0, 5.0);
+    sim.charge(1, 9.0);
+    sim.charge(2, 7.0);
+    EXPECT_DOUBLE_EQ(sim.makespan(), 9.0);
+    EXPECT_DOUBLE_EQ(sim.meanVppTime(), 7.0);
+}
+
+TEST(PersistentSim, OverSignalingPanics)
+{
+    DeviceSpec spec;
+    gpusim::PersistentSim sim(spec, 2, 1);
+    sim.setExpectedSignals(0, 1);
+    sim.signal(0, 0);
+    EXPECT_DEATH(sim.signal(0, 1), "over-signaled");
+}
+
+TEST(PersistentSim, VppInstructionSharesSmBetweenCtas)
+{
+    DeviceSpec spec;
+    KernelCost cost;
+    cost.flops = 1e6;
+    cost.latency_hops = 0.0;
+    const double one = gpusim::vppInstructionUs(spec, cost, 1, 80);
+    const double two = gpusim::vppInstructionUs(spec, cost, 2, 160);
+    EXPECT_NEAR(two / one, 2.0, 1e-9)
+        << "two CTAs sharing an SM each get half its compute rate";
+}
+
+TEST(HostSpec, WorkingSetFactorGrowsPastThreshold)
+{
+    gpusim::HostSpec host;
+    EXPECT_DOUBLE_EQ(host.workingSetFactor(100), 1.0);
+    const double f1 = host.workingSetFactor(
+        static_cast<std::size_t>(host.cache_friendly_nodes) * 2);
+    const double f2 = host.workingSetFactor(
+        static_cast<std::size_t>(host.cache_friendly_nodes) * 8);
+    EXPECT_GT(f1, 1.0);
+    EXPECT_NEAR(f2 - f1, 2.0 * host.cache_degradation_per_doubling,
+                1e-9);
+}
+
+TEST(Device, FunctionalToggleControlsZeroFill)
+{
+    gpusim::Device device(DeviceSpec{}, 256);
+    device.setFunctional(false);
+    const auto a = device.memory().allocate(16, MemSpace::Activations);
+    device.memory().data(a)[0] = 5.0f;
+    device.memory().resetTo(a);
+    device.memory().allocate(16, MemSpace::Activations);
+    EXPECT_EQ(device.memory().data(a)[0], 5.0f)
+        << "timing-only mode skips the zero fill";
+    device.setFunctional(true);
+    device.memory().resetTo(a);
+    device.memory().allocate(16, MemSpace::Activations);
+    EXPECT_EQ(device.memory().data(a)[0], 0.0f);
+}
+
+} // namespace

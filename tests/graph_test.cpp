@@ -1,0 +1,192 @@
+/** @file Unit tests for the computation-graph substrate. */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/expr.hpp"
+#include "graph/level_sort.hpp"
+
+namespace {
+
+struct GraphRig
+{
+    gpusim::Device device{gpusim::DeviceSpec{}, 1u << 20};
+    graph::Model model;
+    graph::ParamId w, b, table;
+
+    GraphRig()
+    {
+        w = model.addWeightMatrix("W", 8, 4);
+        b = model.addBias("b", 8);
+        table = model.addLookup("E", 10, 4);
+        common::Rng rng(1);
+        model.allocate(device, rng);
+    }
+};
+
+TEST(Model, RegistersAndAllocatesParameters)
+{
+    GraphRig rig;
+    EXPECT_EQ(rig.model.numParams(), 3u);
+    EXPECT_EQ(rig.model.weightMatrices(),
+              std::vector<graph::ParamId>{rig.w});
+    EXPECT_DOUBLE_EQ(rig.model.totalWeightMatrixBytes(), 8 * 4 * 4.0);
+    EXPECT_EQ(rig.model.maxWeightRowLength(), 4u);
+    EXPECT_EQ(rig.model.totalScalars(), 32u + 8u + 40u);
+    // Glorot init is nonzero and bounded.
+    const float* v =
+        rig.device.memory().data(rig.model.param(rig.w).value);
+    bool any_nonzero = false;
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_LE(std::abs(v[i]), 1.0f);
+        any_nonzero |= v[i] != 0.0f;
+    }
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Model, DoubleAllocationIsFatal)
+{
+    GraphRig rig;
+    common::Rng rng(2);
+    EXPECT_EXIT(rig.model.allocate(rig.device, rng),
+                testing::ExitedWithCode(1), "twice");
+}
+
+TEST(Expr, BuildersInferShapes)
+{
+    GraphRig rig;
+    graph::ComputationGraph cg;
+    auto x = graph::input(cg, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_EQ(x.shape(), tensor::Shape(4));
+    auto y = graph::matvec(rig.model, rig.w, x);
+    EXPECT_EQ(y.shape(), tensor::Shape(8));
+    auto s = graph::slice(y, 2, 3);
+    EXPECT_EQ(s.shape(), tensor::Shape(3));
+    auto cat = graph::concat({s, s});
+    EXPECT_EQ(cat.shape(), tensor::Shape(6));
+    auto e = graph::lookup(cg, rig.model, rig.table, 3);
+    EXPECT_EQ(e.shape(), tensor::Shape(4));
+    auto l = graph::pickNegLogSoftmax(y, 5);
+    EXPECT_TRUE(l.shape().isScalar());
+    auto bias = graph::parameter(cg, rig.model, rig.b);
+    auto sum = graph::add({y, bias});
+    EXPECT_EQ(sum.shape(), tensor::Shape(8));
+}
+
+TEST(Expr, ShapeMismatchesAreFatal)
+{
+    GraphRig rig;
+    graph::ComputationGraph cg;
+    auto bad = graph::input(cg, {1.0f, 2.0f, 3.0f});
+    EXPECT_EXIT(graph::matvec(rig.model, rig.w, bad),
+                testing::ExitedWithCode(1), "shape mismatch");
+    auto x = graph::input(cg, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_EXIT(graph::add({x, bad}), testing::ExitedWithCode(1),
+                "shape");
+    auto y = graph::matvec(rig.model, rig.w, x);
+    EXPECT_EXIT(graph::slice(y, 6, 5), testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(graph::pickNegLogSoftmax(y, 8),
+                testing::ExitedWithCode(1), "label");
+    EXPECT_EXIT(graph::lookup(cg, rig.model, rig.table, 10),
+                testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(Expr, ParameterKindsAreChecked)
+{
+    GraphRig rig;
+    graph::ComputationGraph cg;
+    EXPECT_EXIT(graph::parameter(cg, rig.model, rig.w),
+                testing::ExitedWithCode(1), "not a bias");
+    auto x = graph::input(cg, std::vector<float>(4, 0.0f));
+    EXPECT_EXIT(graph::matvec(rig.model, rig.b, x),
+                testing::ExitedWithCode(1), "not a weight matrix");
+    EXPECT_EXIT(graph::lookup(cg, rig.model, rig.w, 0),
+                testing::ExitedWithCode(1), "not an embedding");
+}
+
+TEST(LevelSort, LevelsAreMaxDepthFromLeaves)
+{
+    GraphRig rig;
+    graph::ComputationGraph cg;
+    auto a = graph::input(cg, std::vector<float>(4, 1.0f)); // level 0
+    auto b = graph::matvec(rig.model, rig.w, a);            // level 1
+    auto c = graph::tanh(b);                                // level 2
+    auto d = graph::slice(c, 0, 4);                         // level 3
+    auto e = graph::matvec(rig.model, rig.w, d);            // level 4
+    auto f = graph::add({e, b});                            // level 5
+    const auto levels = graph::computeLevels(cg);
+    ASSERT_EQ(levels.size(), 6u);
+    EXPECT_EQ(cg.node(a.id).level, 0);
+    EXPECT_EQ(cg.node(f.id).level, 5);
+    // Within-level independence: no node's argument shares its level.
+    for (const auto& level : levels)
+        for (auto id : level)
+            for (auto arg : cg.node(id).args)
+                EXPECT_LT(cg.node(arg).level, cg.node(id).level);
+}
+
+TEST(LevelSort, ReachabilityPrunesDeadNodes)
+{
+    GraphRig rig;
+    graph::ComputationGraph cg;
+    auto a = graph::input(cg, std::vector<float>(4, 1.0f));
+    auto used = graph::matvec(rig.model, rig.w, a);
+    auto dead = graph::tanh(used);
+    auto loss = graph::pickNegLogSoftmax(used, 0);
+    const auto live = graph::reachableFrom(cg, loss.id);
+    EXPECT_TRUE(live[a.id]);
+    EXPECT_TRUE(live[used.id]);
+    EXPECT_TRUE(live[loss.id]);
+    EXPECT_FALSE(live[dead.id]);
+}
+
+TEST(BatchSignature, GroupsCompatibleNodesOnly)
+{
+    GraphRig rig;
+    graph::ComputationGraph cg;
+    auto x1 = graph::input(cg, std::vector<float>(4, 1.0f));
+    auto x2 = graph::input(cg, std::vector<float>(4, 2.0f));
+    auto m1 = graph::matvec(rig.model, rig.w, x1);
+    auto m2 = graph::matvec(rig.model, rig.w, x2);
+    EXPECT_EQ(graph::batchSignature(cg.node(m1.id)),
+              graph::batchSignature(cg.node(m2.id)))
+        << "same op, same W, same shapes: batchable";
+
+    auto t1 = graph::tanh(m1);
+    EXPECT_NE(graph::batchSignature(cg.node(m1.id)),
+              graph::batchSignature(cg.node(t1.id)))
+        << "different ops never batch";
+
+    auto s1 = graph::slice(m1, 0, 4);
+    auto s2 = graph::slice(m2, 4, 4);
+    EXPECT_NE(graph::batchSignature(cg.node(s1.id)),
+              graph::batchSignature(cg.node(s2.id)))
+        << "slices at different offsets are different kernels";
+
+    auto e1 = graph::lookup(cg, rig.model, rig.table, 1);
+    auto e2 = graph::lookup(cg, rig.model, rig.table, 7);
+    EXPECT_EQ(graph::batchSignature(cg.node(e1.id)),
+              graph::batchSignature(cg.node(e2.id)))
+        << "lookup rows are data, not kernel identity";
+}
+
+TEST(ComputationGraph, InputDataIsStaged)
+{
+    graph::ComputationGraph cg;
+    auto x = graph::input(cg, {1.0f, 2.0f});
+    EXPECT_EQ(cg.inputData(x.id).size(), 2u);
+    EXPECT_DOUBLE_EQ(cg.totalInputBytes(), 8.0);
+    cg.clear();
+    EXPECT_EQ(cg.size(), 0u);
+}
+
+TEST(ComputationGraph, ForwardReferencesPanic)
+{
+    graph::ComputationGraph cg;
+    graph::Node n;
+    n.op = graph::OpType::Tanh;
+    n.args = {5}; // nonexistent
+    EXPECT_DEATH(cg.addNode(std::move(n)), "forward reference");
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/** @file Unit tests for the training harness. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "data/treebank.hpp"
+#include "data/vocab.hpp"
+#include "exec/depth_batch_executor.hpp"
+#include "graph/level_sort.hpp"
+#include "models/rvnn.hpp"
+#include "train/harness.hpp"
+#include "train/sgd.hpp"
+#include "vpps/handle.hpp"
+
+namespace {
+
+struct TrainRig
+{
+    gpusim::Device device{gpusim::DeviceSpec{}, 32u << 20};
+    common::Rng data_rng{51};
+    data::Vocab vocab{300};
+    data::Treebank bank{vocab, 10, data_rng, 8.0, 4, 12};
+    common::Rng param_rng{52};
+    models::RvnnModel model{bank, vocab, 32, device, param_rng};
+};
+
+TEST(Harness, SuperGraphSumsOneLossPerInput)
+{
+    TrainRig rig;
+    graph::ComputationGraph cg;
+    auto loss = train::buildSuperGraph(rig.model, cg, 0, 4);
+    EXPECT_TRUE(loss.shape().isScalar());
+    // The loss node aggregates exactly 4 scalar losses.
+    const auto& node = cg.node(loss.id);
+    EXPECT_EQ(node.op, graph::OpType::AddN);
+    EXPECT_EQ(node.args.size(), 4u);
+    for (auto arg : node.args)
+        EXPECT_EQ(cg.node(arg).op, graph::OpType::PickNLS);
+}
+
+TEST(Harness, SuperGraphWrapsAroundDataset)
+{
+    TrainRig rig;
+    graph::ComputationGraph cg;
+    // start near the end of the 10-item dataset with batch 4.
+    auto loss = train::buildSuperGraph(rig.model, cg, 8, 4);
+    EXPECT_TRUE(loss.shape().isScalar());
+    EXPECT_GT(cg.size(), 0u);
+}
+
+TEST(Harness, ZeroBatchIsFatal)
+{
+    TrainRig rig;
+    graph::ComputationGraph cg;
+    EXPECT_EXIT(train::buildSuperGraph(rig.model, cg, 0, 0),
+                testing::ExitedWithCode(1), "batch");
+}
+
+TEST(Harness, MeasureExecutorReportsConsistentThroughput)
+{
+    TrainRig rig;
+    exec::DepthBatchExecutor executor(rig.device, gpusim::HostSpec{});
+    const auto r = train::measureExecutor(executor, rig.model, 8, 2);
+    EXPECT_EQ(r.system, "DyNet-DB");
+    EXPECT_EQ(r.batch_size, 2u);
+    EXPECT_GT(r.wall_us, 0.0);
+    EXPECT_NEAR(r.inputs_per_sec, 8.0 / (r.wall_us * 1e-6), 1e-6);
+    EXPECT_DOUBLE_EQ(r.wall_us, r.cpu_us + r.gpu_us)
+        << "baselines are synchronous";
+    EXPECT_GT(r.launches, 0u);
+}
+
+TEST(Harness, MeasureVppsUsesPipelinedWallTime)
+{
+    TrainRig rig;
+    vpps::VppsOptions opts;
+    opts.rpw = 2;
+    vpps::Handle handle(rig.model.model(), rig.device, opts);
+    const auto r = train::measureVpps(handle, rig.model, 8, 2);
+    EXPECT_EQ(r.system, "VPPS");
+    EXPECT_GT(r.wall_us, 0.0);
+    EXPECT_LE(r.wall_us, r.cpu_us + r.gpu_us)
+        << "asynchrony must overlap host and device";
+    EXPECT_TRUE(std::isfinite(r.last_loss));
+}
+
+TEST(Sgd, ConfigAppliesToModel)
+{
+    TrainRig rig;
+    train::SgdConfig cfg{0.5f, 0.125f};
+    cfg.apply(rig.model.model());
+    EXPECT_FLOAT_EQ(rig.model.model().learning_rate, 0.5f);
+    EXPECT_FLOAT_EQ(rig.model.model().weight_decay, 0.125f);
+}
+
+TEST(Sgd, LossTrackerStatistics)
+{
+    train::LossTracker t;
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_FLOAT_EQ(t.mean(), 0.0f);
+    t.add(2.0f);
+    t.add(4.0f);
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_FLOAT_EQ(t.first(), 2.0f);
+    EXPECT_FLOAT_EQ(t.last(), 4.0f);
+    EXPECT_FLOAT_EQ(t.mean(), 3.0f);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * End-to-end numerical equivalence: training through the VPPS
+ * persistent kernel must produce the same losses and the same final
+ * parameters as training through the per-node baseline executor --
+ * the register cache, the script, the barriers, and the in-kernel
+ * update are pure execution-strategy changes, not math changes.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "data/treebank.hpp"
+#include "data/vocab.hpp"
+#include "exec/agenda_batch_executor.hpp"
+#include "exec/naive_executor.hpp"
+#include "models/tree_lstm.hpp"
+#include "train/harness.hpp"
+#include "vpps/handle.hpp"
+
+namespace {
+
+constexpr std::size_t kPool = 24u << 20; // floats
+
+struct Rig
+{
+    gpusim::Device device{gpusim::DeviceSpec{}, kPool};
+    common::Rng data_rng{7};
+    data::Vocab vocab{400};
+    data::Treebank bank{vocab, 24, data_rng, 9.0, 4, 14};
+    common::Rng param_rng{42};
+    models::TreeLstmModel model{bank, vocab, 32, 48, device, param_rng};
+};
+
+/** Max relative difference between two models' parameter values. */
+double
+maxRelDiff(gpusim::Device& a, const graph::Model& ma, gpusim::Device& b,
+           const graph::Model& mb)
+{
+    double worst = 0.0;
+    for (graph::ParamId pid = 0; pid < ma.numParams(); ++pid) {
+        const auto& pa = ma.param(pid);
+        const auto& pb = mb.param(pid);
+        const float* va = a.memory().data(pa.value);
+        const float* vb = b.memory().data(pb.value);
+        for (std::size_t i = 0; i < pa.shape.size(); ++i) {
+            const double denom =
+                std::max(1e-3, std::abs(static_cast<double>(va[i])));
+            worst = std::max(
+                worst,
+                std::abs(static_cast<double>(va[i]) - vb[i]) / denom);
+        }
+    }
+    return worst;
+}
+
+void
+expectEquivalent(const vpps::VppsOptions& opts, double tol)
+{
+    Rig naive_rig;
+    Rig vpps_rig;
+
+    exec::NaiveExecutor naive(naive_rig.device, gpusim::HostSpec{});
+    vpps::VppsOptions o = opts;
+    o.async = false; // fb returns the current loss
+    vpps::Handle handle(vpps_rig.model.model(), vpps_rig.device, o);
+
+    const std::size_t batch = 4;
+    for (std::size_t step = 0; step < 4; ++step) {
+        graph::ComputationGraph cg_a;
+        graph::Expr loss_a = train::buildSuperGraph(
+            naive_rig.model, cg_a, step * batch, batch);
+        const float la =
+            naive.trainBatch(naive_rig.model.model(), cg_a, loss_a);
+
+        graph::ComputationGraph cg_b;
+        graph::Expr loss_b = train::buildSuperGraph(
+            vpps_rig.model, cg_b, step * batch, batch);
+        const float lb =
+            handle.fb(vpps_rig.model.model(), cg_b, loss_b);
+
+        EXPECT_NEAR(la, lb, tol * std::abs(la) + 1e-3)
+            << "loss diverged at step " << step;
+    }
+    EXPECT_LT(maxRelDiff(naive_rig.device, naive_rig.model.model(),
+                         vpps_rig.device, vpps_rig.model.model()),
+              tol)
+        << "final parameters diverged";
+}
+
+TEST(VppsEquivalence, MatchesNaiveWithCachedGradients)
+{
+    vpps::VppsOptions opts;
+    opts.rpw = 2;
+    expectEquivalent(opts, 2e-3);
+}
+
+TEST(VppsEquivalence, MatchesNaiveWithGemmFallback)
+{
+    vpps::VppsOptions opts;
+    opts.rpw = 2;
+    opts.cache_gradients = false;
+    expectEquivalent(opts, 2e-3);
+}
+
+TEST(VppsEquivalence, MatchesNaiveWithRpw1)
+{
+    vpps::VppsOptions opts;
+    opts.rpw = 1;
+    expectEquivalent(opts, 2e-3);
+}
+
+TEST(VppsEquivalence, AgendaBaselineMatchesNaive)
+{
+    Rig a;
+    Rig b;
+    exec::NaiveExecutor naive(a.device, gpusim::HostSpec{});
+    exec::AgendaBatchExecutor agenda(b.device, gpusim::HostSpec{});
+    for (std::size_t step = 0; step < 3; ++step) {
+        graph::ComputationGraph cg_a;
+        auto la = naive.trainBatch(
+            a.model.model(), cg_a,
+            train::buildSuperGraph(a.model, cg_a, step * 4, 4));
+        graph::ComputationGraph cg_b;
+        auto lb = agenda.trainBatch(
+            b.model.model(), cg_b,
+            train::buildSuperGraph(b.model, cg_b, step * 4, 4));
+        EXPECT_NEAR(la, lb, 1e-3 * std::abs(la) + 1e-4);
+    }
+    EXPECT_LT(maxRelDiff(a.device, a.model.model(), b.device,
+                         b.model.model()),
+              1e-3);
+}
+
+/** The stale-loss contract of Section III-D: with asynchrony on,
+ *  fb() returns the previous batch's loss. */
+TEST(VppsEquivalence, AsyncReturnsStaleLoss)
+{
+    Rig sync_rig;
+    Rig async_rig;
+    vpps::VppsOptions sync_opts;
+    sync_opts.rpw = 2;
+    sync_opts.async = false;
+    vpps::VppsOptions async_opts;
+    async_opts.rpw = 2;
+    async_opts.async = true;
+    vpps::Handle sync_h(sync_rig.model.model(), sync_rig.device,
+                        sync_opts);
+    vpps::Handle async_h(async_rig.model.model(), async_rig.device,
+                         async_opts);
+
+    float prev_sync = 0.0f;
+    for (std::size_t step = 0; step < 3; ++step) {
+        graph::ComputationGraph cg_a;
+        const float ls = sync_h.fb(
+            sync_rig.model.model(), cg_a,
+            train::buildSuperGraph(sync_rig.model, cg_a, step * 4, 4));
+        graph::ComputationGraph cg_b;
+        const float la = async_h.fb(
+            async_rig.model.model(), cg_b,
+            train::buildSuperGraph(async_rig.model, cg_b, step * 4, 4));
+        EXPECT_FLOAT_EQ(la, prev_sync)
+            << "async fb must return the previous batch's loss";
+        prev_sync = ls;
+    }
+    EXPECT_FLOAT_EQ(async_h.sync_get_latest_loss(), prev_sync);
+}
+
+} // namespace
