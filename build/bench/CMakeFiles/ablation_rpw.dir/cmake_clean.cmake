@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rpw.dir/ablation_rpw.cpp.o"
+  "CMakeFiles/ablation_rpw.dir/ablation_rpw.cpp.o.d"
+  "ablation_rpw"
+  "ablation_rpw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rpw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

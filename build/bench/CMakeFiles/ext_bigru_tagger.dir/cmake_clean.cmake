@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bigru_tagger.dir/ext_bigru_tagger.cpp.o"
+  "CMakeFiles/ext_bigru_tagger.dir/ext_bigru_tagger.cpp.o.d"
+  "ext_bigru_tagger"
+  "ext_bigru_tagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bigru_tagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

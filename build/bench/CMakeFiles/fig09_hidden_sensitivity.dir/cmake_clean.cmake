@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_hidden_sensitivity.dir/fig09_hidden_sensitivity.cpp.o"
+  "CMakeFiles/fig09_hidden_sensitivity.dir/fig09_hidden_sensitivity.cpp.o.d"
+  "fig09_hidden_sensitivity"
+  "fig09_hidden_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_hidden_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

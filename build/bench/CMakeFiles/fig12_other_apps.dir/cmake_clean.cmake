@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_other_apps.dir/fig12_other_apps.cpp.o"
+  "CMakeFiles/fig12_other_apps.dir/fig12_other_apps.cpp.o.d"
+  "fig12_other_apps"
+  "fig12_other_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_other_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

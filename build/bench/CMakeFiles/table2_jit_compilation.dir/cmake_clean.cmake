@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_jit_compilation.dir/table2_jit_compilation.cpp.o"
+  "CMakeFiles/table2_jit_compilation.dir/table2_jit_compilation.cpp.o.d"
+  "table2_jit_compilation"
+  "table2_jit_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_jit_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

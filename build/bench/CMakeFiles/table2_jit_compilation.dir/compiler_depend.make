@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_jit_compilation.
+# This may be replaced when dependencies are built.

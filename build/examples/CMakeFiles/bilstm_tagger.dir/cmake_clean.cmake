@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bilstm_tagger.dir/bilstm_tagger.cpp.o"
+  "CMakeFiles/bilstm_tagger.dir/bilstm_tagger.cpp.o.d"
+  "bilstm_tagger"
+  "bilstm_tagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bilstm_tagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

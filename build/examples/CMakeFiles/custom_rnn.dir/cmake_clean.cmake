@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_rnn.dir/custom_rnn.cpp.o"
+  "CMakeFiles/custom_rnn.dir/custom_rnn.cpp.o.d"
+  "custom_rnn"
+  "custom_rnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treelstm_sentiment.dir/treelstm_sentiment.cpp.o"
+  "CMakeFiles/treelstm_sentiment.dir/treelstm_sentiment.cpp.o.d"
+  "treelstm_sentiment"
+  "treelstm_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treelstm_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

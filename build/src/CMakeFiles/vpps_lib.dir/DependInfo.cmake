@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/vpps_lib.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/vpps_lib.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/vpps_lib.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/common/table.cpp.o.d"
+  "/root/repo/src/data/ner_corpus.cpp" "src/CMakeFiles/vpps_lib.dir/data/ner_corpus.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/data/ner_corpus.cpp.o.d"
+  "/root/repo/src/data/treebank.cpp" "src/CMakeFiles/vpps_lib.dir/data/treebank.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/data/treebank.cpp.o.d"
+  "/root/repo/src/data/vocab.cpp" "src/CMakeFiles/vpps_lib.dir/data/vocab.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/data/vocab.cpp.o.d"
+  "/root/repo/src/exec/agenda_batch_executor.cpp" "src/CMakeFiles/vpps_lib.dir/exec/agenda_batch_executor.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/exec/agenda_batch_executor.cpp.o.d"
+  "/root/repo/src/exec/depth_batch_executor.cpp" "src/CMakeFiles/vpps_lib.dir/exec/depth_batch_executor.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/exec/depth_batch_executor.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/vpps_lib.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/fold_executor.cpp" "src/CMakeFiles/vpps_lib.dir/exec/fold_executor.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/exec/fold_executor.cpp.o.d"
+  "/root/repo/src/exec/kernels.cpp" "src/CMakeFiles/vpps_lib.dir/exec/kernels.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/exec/kernels.cpp.o.d"
+  "/root/repo/src/exec/naive_executor.cpp" "src/CMakeFiles/vpps_lib.dir/exec/naive_executor.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/exec/naive_executor.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/CMakeFiles/vpps_lib.dir/gpusim/cost_model.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/gpusim/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/vpps_lib.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_memory.cpp" "src/CMakeFiles/vpps_lib.dir/gpusim/device_memory.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/gpusim/device_memory.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/CMakeFiles/vpps_lib.dir/gpusim/device_spec.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/gpusim/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/persistent_sim.cpp" "src/CMakeFiles/vpps_lib.dir/gpusim/persistent_sim.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/gpusim/persistent_sim.cpp.o.d"
+  "/root/repo/src/graph/cgraph.cpp" "src/CMakeFiles/vpps_lib.dir/graph/cgraph.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/graph/cgraph.cpp.o.d"
+  "/root/repo/src/graph/expr.cpp" "src/CMakeFiles/vpps_lib.dir/graph/expr.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/graph/expr.cpp.o.d"
+  "/root/repo/src/graph/level_sort.cpp" "src/CMakeFiles/vpps_lib.dir/graph/level_sort.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/graph/level_sort.cpp.o.d"
+  "/root/repo/src/graph/model.cpp" "src/CMakeFiles/vpps_lib.dir/graph/model.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/graph/model.cpp.o.d"
+  "/root/repo/src/graph/node.cpp" "src/CMakeFiles/vpps_lib.dir/graph/node.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/graph/node.cpp.o.d"
+  "/root/repo/src/models/bigru_tagger.cpp" "src/CMakeFiles/vpps_lib.dir/models/bigru_tagger.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/bigru_tagger.cpp.o.d"
+  "/root/repo/src/models/bilstm_char_tagger.cpp" "src/CMakeFiles/vpps_lib.dir/models/bilstm_char_tagger.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/bilstm_char_tagger.cpp.o.d"
+  "/root/repo/src/models/bilstm_tagger.cpp" "src/CMakeFiles/vpps_lib.dir/models/bilstm_tagger.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/bilstm_tagger.cpp.o.d"
+  "/root/repo/src/models/gru.cpp" "src/CMakeFiles/vpps_lib.dir/models/gru.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/gru.cpp.o.d"
+  "/root/repo/src/models/lstm.cpp" "src/CMakeFiles/vpps_lib.dir/models/lstm.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/lstm.cpp.o.d"
+  "/root/repo/src/models/rvnn.cpp" "src/CMakeFiles/vpps_lib.dir/models/rvnn.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/rvnn.cpp.o.d"
+  "/root/repo/src/models/td_lstm.cpp" "src/CMakeFiles/vpps_lib.dir/models/td_lstm.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/td_lstm.cpp.o.d"
+  "/root/repo/src/models/td_rnn.cpp" "src/CMakeFiles/vpps_lib.dir/models/td_rnn.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/td_rnn.cpp.o.d"
+  "/root/repo/src/models/tree_lstm.cpp" "src/CMakeFiles/vpps_lib.dir/models/tree_lstm.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/models/tree_lstm.cpp.o.d"
+  "/root/repo/src/tensor/host_math.cpp" "src/CMakeFiles/vpps_lib.dir/tensor/host_math.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/tensor/host_math.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/vpps_lib.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/vpps_lib.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/train/harness.cpp" "src/CMakeFiles/vpps_lib.dir/train/harness.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/train/harness.cpp.o.d"
+  "/root/repo/src/train/sgd.cpp" "src/CMakeFiles/vpps_lib.dir/train/sgd.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/train/sgd.cpp.o.d"
+  "/root/repo/src/vpps/codegen.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/codegen.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/codegen.cpp.o.d"
+  "/root/repo/src/vpps/disasm.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/disasm.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/disasm.cpp.o.d"
+  "/root/repo/src/vpps/distribution.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/distribution.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/distribution.cpp.o.d"
+  "/root/repo/src/vpps/handle.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/handle.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/handle.cpp.o.d"
+  "/root/repo/src/vpps/isa.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/isa.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/isa.cpp.o.d"
+  "/root/repo/src/vpps/kernel_cache.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/kernel_cache.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/kernel_cache.cpp.o.d"
+  "/root/repo/src/vpps/pipeline.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/pipeline.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/pipeline.cpp.o.d"
+  "/root/repo/src/vpps/script_exec.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/script_exec.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/script_exec.cpp.o.d"
+  "/root/repo/src/vpps/script_gen.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/script_gen.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/script_gen.cpp.o.d"
+  "/root/repo/src/vpps/tuner.cpp" "src/CMakeFiles/vpps_lib.dir/vpps/tuner.cpp.o" "gcc" "src/CMakeFiles/vpps_lib.dir/vpps/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/all_apps_equivalence_test.cpp" "tests/CMakeFiles/vpps_tests.dir/all_apps_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/all_apps_equivalence_test.cpp.o.d"
+  "/root/repo/tests/autodiff_test.cpp" "tests/CMakeFiles/vpps_tests.dir/autodiff_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/autodiff_test.cpp.o.d"
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/vpps_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/vpps_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/vpps_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/disasm_test.cpp" "tests/CMakeFiles/vpps_tests.dir/disasm_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/disasm_test.cpp.o.d"
+  "/root/repo/tests/distribution_test.cpp" "tests/CMakeFiles/vpps_tests.dir/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/distribution_test.cpp.o.d"
+  "/root/repo/tests/exec_test.cpp" "tests/CMakeFiles/vpps_tests.dir/exec_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/exec_test.cpp.o.d"
+  "/root/repo/tests/gpusim_test.cpp" "tests/CMakeFiles/vpps_tests.dir/gpusim_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/gpusim_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/vpps_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/gru_test.cpp" "tests/CMakeFiles/vpps_tests.dir/gru_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/gru_test.cpp.o.d"
+  "/root/repo/tests/handle_test.cpp" "tests/CMakeFiles/vpps_tests.dir/handle_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/handle_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/vpps_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interpreter_test.cpp" "tests/CMakeFiles/vpps_tests.dir/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/interpreter_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/vpps_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/kernel_cache_test.cpp" "tests/CMakeFiles/vpps_tests.dir/kernel_cache_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/kernel_cache_test.cpp.o.d"
+  "/root/repo/tests/models_test.cpp" "tests/CMakeFiles/vpps_tests.dir/models_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/models_test.cpp.o.d"
+  "/root/repo/tests/script_test.cpp" "tests/CMakeFiles/vpps_tests.dir/script_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/script_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/vpps_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/vpps_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/train_test.cpp" "tests/CMakeFiles/vpps_tests.dir/train_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/train_test.cpp.o.d"
+  "/root/repo/tests/tuner_pipeline_test.cpp" "tests/CMakeFiles/vpps_tests.dir/tuner_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/tuner_pipeline_test.cpp.o.d"
+  "/root/repo/tests/vpps_equivalence_test.cpp" "tests/CMakeFiles/vpps_tests.dir/vpps_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/vpps_tests.dir/vpps_equivalence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vpps_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

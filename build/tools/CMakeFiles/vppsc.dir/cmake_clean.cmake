@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppsc.dir/vppsc.cpp.o"
+  "CMakeFiles/vppsc.dir/vppsc.cpp.o.d"
+  "vppsc"
+  "vppsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
