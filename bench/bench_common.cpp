@@ -2,6 +2,7 @@
 
 #include <malloc.h>
 
+#include <cstdlib>
 #include <iostream>
 
 #include "common/logging.hpp"
@@ -122,6 +123,45 @@ printTable(const std::string& title, const common::Table& table)
     std::cout << "\n== " << title << " ==\n"
               << table.str() << "\ncsv:\n"
               << table.csv() << std::flush;
+}
+
+BenchCli
+parseBenchArgs(int argc, char** argv)
+{
+    BenchCli cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            cli.threads = std::atoi(argv[++i]);
+        } else if (arg == "--json") {
+            cli.json = true;
+        } else if (arg == "--functional") {
+            cli.functional = true;
+        } else if (arg == "--vpps-only") {
+            cli.vpps_only = true;
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--threads N] [--json] [--functional]"
+                         " [--vpps-only]\n";
+            std::exit(2);
+        }
+    }
+    return cli;
+}
+
+void
+printJsonResult(const BenchCli& cli, const std::string& bench,
+                const std::string& config, double sim_us,
+                double host_wall_ms)
+{
+    if (!cli.json)
+        return;
+    std::cout << "{\"bench\":\"" << bench << "\",\"config\":\""
+              << config << "\",\"sim_us\":"
+              << common::Table::fmt(sim_us, 3)
+              << ",\"host_wall_ms\":"
+              << common::Table::fmt(host_wall_ms, 3) << "}\n"
+              << std::flush;
 }
 
 } // namespace benchx

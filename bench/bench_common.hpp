@@ -11,6 +11,7 @@
  */
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -94,5 +95,61 @@ class AppRig
 
 /** Print a table plus its CSV form under a paper-style heading. */
 void printTable(const std::string& title, const common::Table& table);
+
+/**
+ * Command-line knobs shared by the figure benches:
+ *
+ *   --threads N    host interpreter threads for VPPS measurements
+ *                  (0 = VPPS_HOST_THREADS env, else serial)
+ *   --json         emit one JSON result line per measurement point
+ *                  instead of the pretty tables
+ *   --functional   run the functional float math too (the default is
+ *                  timing-only); interpretation then dominates host
+ *                  wall-clock, which is what the host-parallel engine
+ *                  accelerates
+ *   --vpps-only    skip the baseline executors (they are serial by
+ *                  design and would swamp host wall-clock comparisons)
+ */
+struct BenchCli
+{
+    int threads = 0;
+    bool json = false;
+    bool functional = false;
+    bool vpps_only = false;
+};
+
+/** Parse the shared bench flags; exits with usage on unknown args. */
+BenchCli parseBenchArgs(int argc, char** argv);
+
+/**
+ * When --json is on, print one machine-readable line:
+ *   {"bench":"...","config":"...","sim_us":...,"host_wall_ms":...}
+ * sim_us is the simulated wall time of the measurement and
+ * host_wall_ms the host-side wall-clock it took to simulate -- the
+ * perf-trajectory number future PRs track in BENCH_*.json.
+ */
+void printJsonResult(const BenchCli& cli, const std::string& bench,
+                     const std::string& config, double sim_us,
+                     double host_wall_ms);
+
+/** Steady-clock stopwatch for host wall-clock reporting. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds since construction or the last reset(). */
+    double
+    elapsedMs() const
+    {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double, std::milli>(d).count();
+    }
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace benchx

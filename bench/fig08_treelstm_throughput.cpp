@@ -7,22 +7,42 @@
  * Expected shape (paper): VPPS dominates everywhere, by the largest
  * factor at small batches (2.92x over the best DyNet variant at batch
  * 2, 1.16x at 128); TF-Fold trails both DyNet variants.
+ *
+ * Host-perf mode: `--functional --vpps-only --threads N --json`
+ * measures how fast the simulator itself interprets the VPPS scripts
+ * (host wall-clock per measurement point in the JSON lines), which is
+ * the number the host-parallel engine improves.
  */
 #include "bench_common.hpp"
 
 #include <iostream>
 
 int
-main()
+main(int argc, char** argv)
 {
-    benchx::AppRig rig("Tree-LSTM");
+    const benchx::BenchCli cli = benchx::parseBenchArgs(argc, argv);
+    benchx::AppRig rig("Tree-LSTM", 0, 0, cli.functional);
+    vpps::VppsOptions opts = benchx::AppRig::defaultOptions();
+    opts.host_threads = cli.threads;
 
     common::Table table({"batch", "VPPS", "DyNet-DB", "DyNet-AB",
                          "TF-Fold", "VPPS/bestDyNet"});
     double speedup_sum = 0.0;
+    double vpps_wall_ms = 0.0;
     for (std::size_t batch : benchx::kBatchSizes) {
         const std::size_t n = benchx::AppRig::pointInputs(batch);
-        const auto vpps = rig.measureVpps(n, batch);
+        benchx::WallTimer timer;
+        const auto vpps = rig.measureVpps(n, batch, opts);
+        const double host_ms = timer.elapsedMs();
+        vpps_wall_ms += host_ms;
+        benchx::printJsonResult(
+            cli, "fig08_treelstm_throughput",
+            "app=Tree-LSTM,batch=" + std::to_string(batch) +
+                ",threads=" + std::to_string(cli.threads) +
+                ",functional=" + (cli.functional ? "1" : "0"),
+            vpps.wall_us, host_ms);
+        if (cli.vpps_only)
+            continue;
         const auto db = rig.measureBaseline("DyNet-DB", n, batch);
         const auto ab = rig.measureBaseline("DyNet-AB", n, batch);
         const auto fold = rig.measureBaseline("TF-Fold", n, batch);
@@ -37,6 +57,14 @@ main()
                       common::Table::fmt(fold.inputs_per_sec, 1),
                       common::Table::fmt(speedup, 2)});
     }
+    benchx::printJsonResult(cli, "fig08_treelstm_throughput",
+                            "app=Tree-LSTM,sweep=total,threads=" +
+                                std::to_string(cli.threads) +
+                                ",functional=" +
+                                (cli.functional ? "1" : "0"),
+                            0.0, vpps_wall_ms);
+    if (cli.json || cli.vpps_only)
+        return 0;
     benchx::printTable(
         "Fig 8: Tree-LSTM training throughput (inputs/s), "
         "hidden=embed=256",

@@ -65,6 +65,14 @@ struct VppsOptions
      * program compilation but still pay module load.
      */
     std::string kernel_cache_dir;
+
+    /**
+     * Host threads used to interpret independent per-VPP script
+     * segments concurrently (simulator speed only -- results are
+     * bitwise identical for every value). <= 0 defers to the
+     * VPPS_HOST_THREADS environment variable, else 1 (serial).
+     */
+    int host_threads = 0;
 };
 
 /** A contiguous run of matrix rows cached by one VPP. */

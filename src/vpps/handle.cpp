@@ -39,7 +39,7 @@ obtainKernel(graph::Model& model, gpusim::Device& device,
 Handle::Handle(graph::Model& model, gpusim::Device& device,
                VppsOptions opts)
     : device_(device), opts_(opts), pipeline_(opts.async),
-      executor_(device)
+      executor_(device, opts.host_threads)
 {
     if (!model.allocated())
         common::fatal("vpps::Handle: model must be allocated before "

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/host_math.hpp"
 
 namespace vpps {
@@ -18,11 +19,116 @@ namespace {
  *  decode switch, operand unpacking. */
 constexpr double kDecodeUs = 0.10;
 
+/** Evict-all budget for the decoded-program cache, in instructions
+ *  (~24 bytes each). Large enough to hold every distinct script of a
+ *  batch-size sweep; bounded so long multi-model runs cannot grow
+ *  without limit. */
+constexpr std::size_t kMaxCachedInstructions = 4u << 20;
+
+/** Rounds with less total work than this run inline: the worker
+ *  wake-up costs more than it saves on near-empty phases. */
+constexpr std::size_t kMinParallelInstructions = 64;
+
+/** One deferred cross-VPP accumulation: the contribution lives in the
+ *  owning VPP's scratch arena and is applied onto the shared target by
+ *  the scheduler at the phase boundary. */
+struct PendingAccum
+{
+    std::uint32_t target = 0;
+    std::uint32_t len = 0;
+    std::size_t arena_pos = 0;
+};
+
+/**
+ * Per-VPP accounting sink. Workers write here with no sharing; the
+ * scheduler merges sinks in VPP order, which makes every counter and
+ * every float reduction independent of the worker count.
+ */
+struct VppSink
+{
+    gpusim::TrafficStats traffic;
+    std::uint64_t instructions = 0;
+    std::vector<PendingAccum> pending;
+    std::vector<float> arena;
+
+    /** Reserve zero-initialized scratch for a deferred accumulation
+     *  of @p len floats onto pool offset @p target. The pointer is
+     *  only valid until the next claim. */
+    float*
+    claim(std::uint32_t target, std::uint32_t len)
+    {
+        const std::size_t pos = arena.size();
+        arena.resize(pos + len); // value-init: scratch starts at zero
+        pending.push_back({target, len, pos});
+        return arena.data() + pos;
+    }
+};
+
 } // namespace
 
-ScriptExecutor::ScriptExecutor(gpusim::Device& device)
-    : device_(device)
+ScriptExecutor::ScriptExecutor(gpusim::Device& device, int threads)
+    : device_(device), threads_(common::resolveThreadCount(threads))
 {
+}
+
+ScriptExecutor::~ScriptExecutor() = default;
+
+const DecodedProgram&
+ScriptExecutor::decoded(const Script& script)
+{
+    const std::vector<std::uint32_t>& words = script.words();
+    // FNV-1a over the full sealed buffer. Identical batches generate
+    // identical words, so replayed minibatches hit here and skip the
+    // whole decode pass.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(script.numVpps()));
+    mix(words.size());
+    for (std::uint32_t w : words)
+        mix(w);
+
+    if (auto it = decode_cache_.find(h); it != decode_cache_.end())
+        return *it->second;
+
+    if (cached_instructions_ > kMaxCachedInstructions) {
+        decode_cache_.clear();
+        cached_instructions_ = 0;
+    }
+
+    auto prog = std::make_unique<DecodedProgram>();
+    const int num_vpps = script.numVpps();
+    prog->num_vpps = num_vpps;
+    prog->streams.resize(static_cast<std::size_t>(num_vpps));
+    prog->stream_words.resize(static_cast<std::size_t>(num_vpps));
+    for (int vpp = 0; vpp < num_vpps; ++vpp) {
+        auto [pc, end] = script.vppStream(vpp);
+        prog->stream_words[static_cast<std::size_t>(vpp)] =
+            static_cast<std::size_t>(end - pc);
+        auto& out = prog->streams[static_cast<std::size_t>(vpp)];
+        while (pc != end) {
+            DecodedInstr in;
+            in.op = preambleOpcode(pc[0]);
+            in.imm = preambleImm(pc[0]);
+            if (in.op >= Opcode::NumOpcodes)
+                common::panic("ScriptExecutor: bad opcode in stream");
+            const int n = operandWords(in.op);
+            if (pc + 1 + n > end)
+                common::panic(
+                    "ScriptExecutor: truncated instruction in stream");
+            for (int i = 0; i < n; ++i)
+                in.operands[i] = pc[1 + i];
+            out.push_back(in);
+            pc += 1 + n;
+        }
+        prog->total_instructions += out.size();
+    }
+    cached_instructions_ += prog->total_instructions;
+    auto& slot = decode_cache_[h];
+    slot = std::move(prog);
+    return *slot;
 }
 
 RunResult
@@ -35,6 +141,9 @@ ScriptExecutor::run(const CompiledKernel& kernel,
     const int num_vpps = plan.numVpps();
     auto& mem = device_.memory();
     const Script& script = batch.script;
+    const DecodedProgram& prog = decoded(script);
+    if (prog.num_vpps != num_vpps)
+        common::panic("ScriptExecutor: script/plan VPP count mismatch");
 
     gpusim::PersistentSim psim(spec, num_vpps, plan.ctasPerSm());
     for (std::size_t b = 0; b < script.expectedSignals().size(); ++b)
@@ -52,9 +161,9 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         static_cast<double>(spec.shared_bytes_per_sm) /
         plan.ctasPerSm();
     for (int vpp = 0; vpp < num_vpps; ++vpp) {
-        auto [begin, end] = script.vppStream(vpp);
         const double script_bytes =
-            4.0 * static_cast<double>(end - begin);
+            4.0 * static_cast<double>(
+                      prog.stream_words[static_cast<std::size_t>(vpp)]);
         const double weight_bytes = plan.cachedWeightBytes(vpp);
         const double fetch_rounds =
             std::max(1.0, std::ceil(script_bytes / shared_budget));
@@ -66,26 +175,21 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         device_.addLoad(MemSpace::Weights, weight_bytes);
     }
 
-    // -- Interpretation loop with blocking waits: round-robin over
-    // VPPs, each executing until it blocks on an unready barrier.
-    struct VppCursor
-    {
-        const std::uint32_t* pc;
-        const std::uint32_t* end;
-    };
-    std::vector<VppCursor> cursors(static_cast<std::size_t>(num_vpps));
-    std::size_t unfinished = 0;
-    for (int vpp = 0; vpp < num_vpps; ++vpp) {
-        auto [begin, end] = script.vppStream(vpp);
-        cursors[static_cast<std::size_t>(vpp)] = {begin, end};
-        if (begin != end)
-            ++unfinished;
-    }
-
     const bool func = device_.functional();
-    auto exec_instr = [&](int vpp, const std::uint32_t* pc) {
-        const Opcode op = preambleOpcode(pc[0]);
-        const std::uint32_t imm = preambleImm(pc[0]);
+    std::vector<VppSink> sinks(static_cast<std::size_t>(num_vpps));
+
+    // Execute one non-sync instruction on behalf of @p vpp. Traffic
+    // and instruction counts go to the VPP's private sink; per-VPP
+    // timeline charges are contention-free by construction (each VPP
+    // is interpreted by exactly one worker per round). Accumulations
+    // whose target may be shared across VPPs within a phase (the
+    // += family and the matrix products with cross-VPP outputs) are
+    // computed into sink scratch and applied in fixed order by the
+    // scheduler, so float reductions never depend on thread timing.
+    auto exec_instr = [&](int vpp, const DecodedInstr& in,
+                          VppSink& sink) {
+        const Opcode op = in.op;
+        const std::uint32_t imm = in.imm;
         KernelCost cost;
         cost.latency_hops = 0.0;
         const double len = static_cast<double>(imm);
@@ -95,8 +199,10 @@ ScriptExecutor::run(const CompiledKernel& kernel,
             double rows = 0.0;
             for (const auto& s : plan.slices(vpp, imm, false)) {
                 if (func)
-                    tensor::gemvRows(mem.data(p.value), mem.data(pc[1]),
-                                     mem.data(pc[2]), s.first_row,
+                    tensor::gemvRows(mem.data(p.value),
+                                     mem.data(in.operands[0]),
+                                     mem.data(in.operands[1]),
+                                     s.first_row,
                                      s.first_row + s.num_rows,
                                      p.shape.cols());
                 rows += s.num_rows;
@@ -106,18 +212,25 @@ ScriptExecutor::run(const CompiledKernel& kernel,
             cost.dram_load_bytes = 4.0 * cols;       // x (weights: regs)
             cost.dram_store_bytes = 4.0 * rows;      // y
             cost.latency_hops = 2.0; // x load -> compute -> y store
-            device_.addLoad(MemSpace::Activations, 4.0 * cols);
-            device_.addStore(MemSpace::Activations, 4.0 * rows);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * cols);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * rows);
             break;
           }
           case Opcode::MatVecT: {
             const auto& p = model.param(imm);
+            const std::uint32_t cols_u =
+                static_cast<std::uint32_t>(p.shape.cols());
+            // dx is shared by every VPP holding rows of W (remote
+            // atomics on the GPU): accumulate this VPP's partial into
+            // scratch, reduced in VPP order at the phase boundary.
+            float* scratch =
+                func ? sink.claim(in.operands[1], cols_u) : nullptr;
             double rows = 0.0;
             for (const auto& s : plan.slices(vpp, imm, false)) {
                 if (func)
                     tensor::gemvTransposedAccumRows(
-                        mem.data(p.value), mem.data(pc[1]),
-                        mem.data(pc[2]), s.first_row,
+                        mem.data(p.value), mem.data(in.operands[0]),
+                        scratch, s.first_row,
                         s.first_row + s.num_rows, p.shape.cols());
                 rows += s.num_rows;
             }
@@ -130,20 +243,31 @@ ScriptExecutor::run(const CompiledKernel& kernel,
             // (the rpw trade-off of Section III-A1).
             cost.atomic_ops = cols * warps;
             cost.latency_hops = 2.0;
-            device_.addLoad(MemSpace::ActGrads, 4.0 * rows);
-            device_.addStore(MemSpace::ActGrads, 4.0 * cols);
-            device_.traffic().addAtomics(cost.atomic_ops);
+            sink.traffic.addLoad(MemSpace::ActGrads, 4.0 * rows);
+            sink.traffic.addStore(MemSpace::ActGrads, 4.0 * cols);
+            sink.traffic.addAtomics(cost.atomic_ops);
             break;
           }
           case Opcode::Outer: {
             const auto& p = model.param(imm);
+            const std::uint32_t cols_u =
+                static_cast<std::uint32_t>(p.shape.cols());
             double rows = 0.0;
             for (const auto& s : plan.slices(vpp, imm, true)) {
-                if (func)
-                    tensor::outerAccumRows( // register-cached proxy
-                        mem.data(p.grad), mem.data(pc[1]),
-                        mem.data(pc[2]), s.first_row,
-                        s.first_row + s.num_rows, p.shape.cols());
+                if (func) {
+                    // dW rows are per-VPP-disjoint, but p.grad is one
+                    // shared buffer also fed by the GEMM staging /
+                    // AccumParam paths; keep the register-cached
+                    // proxy on the same deferred-reduction rule.
+                    float* scratch = sink.claim(
+                        p.grad + s.first_row * cols_u,
+                        s.num_rows * cols_u);
+                    tensor::outerAccumRows(
+                        scratch,
+                        mem.data(in.operands[0]) + s.first_row,
+                        mem.data(in.operands[1]), 0, s.num_rows,
+                        p.shape.cols());
+                }
                 rows += s.num_rows;
             }
             const double cols = p.shape.cols();
@@ -152,215 +276,227 @@ ScriptExecutor::run(const CompiledKernel& kernel,
             // dy and x were just touched by the transposed product
             // in the same phase, so most of the latency is hidden.
             cost.latency_hops = 0.3;
-            device_.addLoad(MemSpace::ActGrads, 4.0 * rows);
-            device_.addLoad(MemSpace::Activations, 4.0 * cols);
+            sink.traffic.addLoad(MemSpace::ActGrads, 4.0 * rows);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * cols);
             break;
           }
           case Opcode::Copy:
             if (func)
-                std::memcpy(mem.data(pc[1]), mem.data(pc[2]),
+                std::memcpy(mem.data(in.operands[0]),
+                            mem.data(in.operands[1]),
                             static_cast<std::size_t>(imm) *
                                 sizeof(float));
             cost.dram_load_bytes = 4.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * len);
             break;
           case Opcode::Accum:
           case Opcode::AccumParam: {
             if (func)
-                tensor::accum(mem.data(pc[1]), mem.data(pc[2]), imm);
+                tensor::accum(sink.claim(in.operands[0], imm),
+                              mem.data(in.operands[1]), imm);
             cost.flops = len;
             cost.dram_load_bytes = 8.0 * len;
             cost.dram_store_bytes = 4.0 * len;
             const MemSpace space = op == Opcode::AccumParam
                                        ? MemSpace::ParamGrads
                                        : MemSpace::ActGrads;
-            device_.addLoad(space, 4.0 * len);
-            device_.addLoad(MemSpace::ActGrads, 4.0 * len);
-            device_.addStore(space, 4.0 * len);
+            sink.traffic.addLoad(space, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::ActGrads, 4.0 * len);
+            sink.traffic.addStore(space, 4.0 * len);
             break;
           }
           case Opcode::Add2: {
             if (func) {
-                const float* ins[2] = {mem.data(pc[2]),
-                                       mem.data(pc[3])};
-                tensor::addN(ins, 2, mem.data(pc[1]), imm);
+                const float* ins[2] = {mem.data(in.operands[1]),
+                                       mem.data(in.operands[2])};
+                tensor::addN(ins, 2, mem.data(in.operands[0]), imm);
             }
             cost.flops = len;
             cost.dram_load_bytes = 8.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 8.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 8.0 * len);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * len);
             break;
           }
           case Opcode::Add3: {
             if (func) {
-                const float* ins[3] = {mem.data(pc[2]),
-                                       mem.data(pc[3]),
-                                       mem.data(pc[4])};
-                tensor::addN(ins, 3, mem.data(pc[1]), imm);
+                const float* ins[3] = {mem.data(in.operands[1]),
+                                       mem.data(in.operands[2]),
+                                       mem.data(in.operands[3])};
+                tensor::addN(ins, 3, mem.data(in.operands[0]), imm);
             }
             cost.flops = 2.0 * len;
             cost.dram_load_bytes = 12.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 12.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 12.0 * len);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * len);
             break;
           }
           case Opcode::Mul:
             if (func)
-                tensor::cwiseMult(mem.data(pc[2]), mem.data(pc[3]),
-                                  mem.data(pc[1]), imm);
+                tensor::cwiseMult(mem.data(in.operands[1]),
+                                  mem.data(in.operands[2]),
+                                  mem.data(in.operands[0]), imm);
             cost.flops = len;
             cost.dram_load_bytes = 8.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 8.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 8.0 * len);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * len);
             break;
           case Opcode::MulAccum: {
             if (func) {
-                float* out = mem.data(pc[1]);
-                const float* a = mem.data(pc[2]);
-                const float* b = mem.data(pc[3]);
+                float* out = sink.claim(in.operands[0], imm);
+                const float* a = mem.data(in.operands[1]);
+                const float* b = mem.data(in.operands[2]);
                 for (std::uint32_t i = 0; i < imm; ++i)
                     out[i] += a[i] * b[i];
             }
             cost.flops = 2.0 * len;
             cost.dram_load_bytes = 12.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::ActGrads, 8.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::ActGrads, 4.0 * len);
             break;
           }
           case Opcode::Tanh:
             if (func)
-                tensor::tanhForward(mem.data(pc[2]), mem.data(pc[1]),
-                                    imm);
+                tensor::tanhForward(mem.data(in.operands[1]),
+                                    mem.data(in.operands[0]), imm);
             cost.flops = 10.0 * len;
             cost.dram_load_bytes = 4.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * len);
             break;
           case Opcode::Sigmoid:
             if (func)
-                tensor::sigmoidForward(mem.data(pc[2]),
-                                       mem.data(pc[1]), imm);
+                tensor::sigmoidForward(mem.data(in.operands[1]),
+                                       mem.data(in.operands[0]), imm);
             cost.flops = 10.0 * len;
             cost.dram_load_bytes = 4.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * len);
             break;
           case Opcode::Relu:
             if (func)
-                tensor::reluForward(mem.data(pc[2]), mem.data(pc[1]),
-                                    imm);
+                tensor::reluForward(mem.data(in.operands[1]),
+                                    mem.data(in.operands[0]), imm);
             cost.flops = len;
             cost.dram_load_bytes = 4.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * len);
             break;
           case Opcode::Scale: {
             if (func) {
                 float factor;
-                std::uint32_t bits = pc[3];
+                std::uint32_t bits = in.operands[2];
                 std::memcpy(&factor, &bits, sizeof(factor));
-                tensor::scaleForward(mem.data(pc[2]), factor,
-                                     mem.data(pc[1]), imm);
+                tensor::scaleForward(mem.data(in.operands[1]), factor,
+                                     mem.data(in.operands[0]), imm);
             }
             cost.flops = len;
             cost.dram_load_bytes = 4.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::Activations, 4.0 * len);
             break;
           }
           case Opcode::ScaleAccum: {
             if (func) {
                 float factor;
-                std::uint32_t bits = pc[3];
+                std::uint32_t bits = in.operands[2];
                 std::memcpy(&factor, &bits, sizeof(factor));
-                tensor::scaleAccum(mem.data(pc[2]), factor,
-                                   mem.data(pc[1]), imm);
+                tensor::scaleAccum(mem.data(in.operands[1]), factor,
+                                   sink.claim(in.operands[0], imm),
+                                   imm);
             }
             cost.flops = 2.0 * len;
             cost.dram_load_bytes = 8.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
-            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::ActGrads, 8.0 * len);
+            sink.traffic.addStore(MemSpace::ActGrads, 4.0 * len);
             break;
           }
           case Opcode::TanhBack:
             if (func)
-                tensor::tanhBackward(mem.data(pc[2]), mem.data(pc[3]),
-                                     mem.data(pc[1]), imm);
+                tensor::tanhBackward(mem.data(in.operands[1]),
+                                     mem.data(in.operands[2]),
+                                     sink.claim(in.operands[0], imm),
+                                     imm);
             cost.flops = 3.0 * len;
             cost.dram_load_bytes = 12.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::ActGrads, 8.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::ActGrads, 4.0 * len);
             break;
           case Opcode::SigmoidBack:
             if (func)
-                tensor::sigmoidBackward(mem.data(pc[2]),
-                                        mem.data(pc[3]),
-                                        mem.data(pc[1]), imm);
+                tensor::sigmoidBackward(
+                    mem.data(in.operands[1]), mem.data(in.operands[2]),
+                    sink.claim(in.operands[0], imm), imm);
             cost.flops = 3.0 * len;
             cost.dram_load_bytes = 12.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::ActGrads, 8.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::ActGrads, 4.0 * len);
             break;
           case Opcode::ReluBack:
             if (func)
-                tensor::reluBackward(mem.data(pc[2]), mem.data(pc[3]),
-                                     mem.data(pc[1]), imm);
+                tensor::reluBackward(mem.data(in.operands[1]),
+                                     mem.data(in.operands[2]),
+                                     sink.claim(in.operands[0], imm),
+                                     imm);
             cost.flops = len;
             cost.dram_load_bytes = 12.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::ActGrads, 8.0 * len);
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::ActGrads, 8.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::ActGrads, 4.0 * len);
             break;
           case Opcode::PickNLS:
             if (func)
-                mem.data(pc[3])[0] = tensor::pickNegLogSoftmax(
-                    mem.data(pc[1]), pc[4], mem.data(pc[2]), imm);
+                mem.data(in.operands[2])[0] = tensor::pickNegLogSoftmax(
+                    mem.data(in.operands[0]), in.operands[3],
+                    mem.data(in.operands[1]), imm);
             cost.flops = 10.0 * len;
             cost.dram_load_bytes = 4.0 * len;
             cost.dram_store_bytes = 4.0 * len + 4.0;
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addStore(MemSpace::Activations, 4.0 * len + 4.0);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addStore(MemSpace::Activations,
+                                  4.0 * len + 4.0);
             break;
           case Opcode::PickNLSBack:
             if (func)
                 tensor::pickNegLogSoftmaxBackward(
-                    mem.data(pc[1]), pc[4], mem.data(pc[2])[0],
-                    mem.data(pc[3]), imm);
+                    mem.data(in.operands[0]), in.operands[3],
+                    mem.data(in.operands[1])[0],
+                    sink.claim(in.operands[2], imm), imm);
             cost.flops = 3.0 * len;
             cost.dram_load_bytes = 8.0 * len;
             cost.dram_store_bytes = 4.0 * len;
-            device_.addLoad(MemSpace::Activations, 4.0 * len);
-            device_.addLoad(MemSpace::ActGrads, 4.0 * len);
-            device_.addStore(MemSpace::ActGrads, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::Activations, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::ActGrads, 4.0 * len);
+            sink.traffic.addStore(MemSpace::ActGrads, 4.0 * len);
             break;
           case Opcode::UpdateVec:
             if (func)
-                tensor::sgdUpdate(mem.data(pc[1]), mem.data(pc[2]),
-                                  imm, model.learning_rate,
+                tensor::sgdUpdate(mem.data(in.operands[0]),
+                                  mem.data(in.operands[1]), imm,
+                                  model.learning_rate,
                                   model.weight_decay);
             cost.flops = 3.0 * len;
             cost.dram_load_bytes = 8.0 * len;
             cost.dram_store_bytes = 8.0 * len;
-            device_.addLoad(MemSpace::Params, 4.0 * len);
-            device_.addLoad(MemSpace::ParamGrads, 4.0 * len);
-            device_.addStore(MemSpace::Params, 8.0 * len);
+            sink.traffic.addLoad(MemSpace::Params, 4.0 * len);
+            sink.traffic.addLoad(MemSpace::ParamGrads, 4.0 * len);
+            sink.traffic.addStore(MemSpace::Params, 8.0 * len);
             break;
           case Opcode::Nop:
             break;
@@ -369,33 +505,128 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         }
         psim.charge(vpp, kDecodeUs);
         psim.chargeInstruction(vpp, cost);
-        ++result.instructions;
+        ++sink.instructions;
     };
 
-    while (unfinished > 0) {
-        bool progress = false;
-        for (int vpp = 0; vpp < num_vpps; ++vpp) {
-            auto& cur = cursors[static_cast<std::size_t>(vpp)];
-            while (cur.pc != cur.end) {
-                const Opcode op = preambleOpcode(cur.pc[0]);
-                const std::uint32_t imm = preambleImm(cur.pc[0]);
-                if (op == Opcode::Wait) {
-                    if (!psim.barrierReady(imm))
+    // -- Phase-scheduled interpretation. Every round: resolve all
+    // ready Signal/Wait traffic serially (barrier state and timeline
+    // clamps stay single-threaded), then slice each unblocked VPP's
+    // stream up to its next sync instruction and execute the slices
+    // concurrently. A slice only becomes runnable once every barrier
+    // ordered before it has fully released, which is exactly the
+    // inter-VPP dependency structure the script generator encodes --
+    // so functional results and per-VPP timelines match the serial
+    // round-robin interpreter.
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(num_vpps),
+                                    0);
+    struct Segment
+    {
+        int vpp;
+        std::size_t begin;
+        std::size_t end;
+    };
+    std::vector<Segment> segments;
+
+    for (;;) {
+        // 1. Barrier traffic to a fixed point (a signal by a
+        // higher-numbered VPP can unblock a lower-numbered one).
+        bool sync_progress = true;
+        while (sync_progress) {
+            sync_progress = false;
+            for (int vpp = 0; vpp < num_vpps; ++vpp) {
+                const auto& stream =
+                    prog.streams[static_cast<std::size_t>(vpp)];
+                std::size_t& pc =
+                    cursor[static_cast<std::size_t>(vpp)];
+                while (pc < stream.size()) {
+                    const DecodedInstr& in = stream[pc];
+                    if (in.op == Opcode::Signal) {
+                        psim.signal(in.imm, vpp);
+                    } else if (in.op == Opcode::Wait &&
+                               psim.barrierReady(in.imm)) {
+                        psim.wait(in.imm, vpp);
+                    } else {
                         break;
-                    psim.wait(imm, vpp);
-                } else if (op == Opcode::Signal) {
-                    psim.signal(imm, vpp);
-                } else {
-                    exec_instr(vpp, cur.pc);
+                    }
+                    ++pc;
+                    sync_progress = true;
                 }
-                cur.pc += 1 + operandWords(op);
-                progress = true;
-                if (cur.pc == cur.end)
-                    --unfinished;
             }
         }
-        if (!progress)
+
+        // 2. Slice runnable per-VPP segments for this round.
+        segments.clear();
+        bool all_done = true;
+        std::size_t round_instructions = 0;
+        for (int vpp = 0; vpp < num_vpps; ++vpp) {
+            const auto& stream =
+                prog.streams[static_cast<std::size_t>(vpp)];
+            const std::size_t pc =
+                cursor[static_cast<std::size_t>(vpp)];
+            if (pc >= stream.size())
+                continue;
+            all_done = false;
+            if (stream[pc].op == Opcode::Wait)
+                continue; // blocked on an unready barrier
+            std::size_t end = pc;
+            while (end < stream.size() &&
+                   stream[end].op != Opcode::Signal &&
+                   stream[end].op != Opcode::Wait)
+                ++end;
+            segments.push_back({vpp, pc, end});
+            round_instructions += end - pc;
+            cursor[static_cast<std::size_t>(vpp)] = end;
+        }
+        if (segments.empty()) {
+            if (all_done)
+                break;
             common::panic("ScriptExecutor: barrier deadlock");
+        }
+
+        // 3. Execute the round's segments, concurrently when the
+        // round carries enough work to amortize the worker wake-up.
+        auto run_segment = [&](std::size_t i) {
+            const Segment& seg = segments[i];
+            VppSink& sink =
+                sinks[static_cast<std::size_t>(seg.vpp)];
+            const auto& stream =
+                prog.streams[static_cast<std::size_t>(seg.vpp)];
+            for (std::size_t pc = seg.begin; pc < seg.end; ++pc)
+                exec_instr(seg.vpp, stream[pc], sink);
+        };
+        if (threads_ > 1 && segments.size() > 1 &&
+            round_instructions >= kMinParallelInstructions) {
+            if (!pool_)
+                pool_ =
+                    std::make_unique<common::ThreadPool>(threads_);
+            pool_->parallelFor(segments.size(), run_segment);
+        } else {
+            for (std::size_t i = 0; i < segments.size(); ++i)
+                run_segment(i);
+        }
+
+        // 4. Deterministic reduction: apply the round's deferred
+        // accumulations in (VPP, program-order) order -- segments are
+        // already sorted by VPP index.
+        for (const Segment& seg : segments) {
+            VppSink& sink =
+                sinks[static_cast<std::size_t>(seg.vpp)];
+            for (const PendingAccum& pa : sink.pending) {
+                float* dst = mem.data(pa.target);
+                const float* src = sink.arena.data() + pa.arena_pos;
+                for (std::uint32_t i = 0; i < pa.len; ++i)
+                    dst[i] += src[i];
+            }
+            sink.pending.clear();
+            sink.arena.clear();
+        }
+    }
+
+    // Merge per-VPP accounting in VPP order (fixed-order reduction:
+    // identical totals for every thread count).
+    for (const VppSink& sink : sinks) {
+        device_.traffic().merge(sink.traffic);
+        result.instructions += sink.instructions;
     }
 
     // -- Epilogue: apply register-cached gradients onto the DRAM

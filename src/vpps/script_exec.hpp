@@ -11,13 +11,35 @@
  * functional math as the baselines while charging per-instruction
  * costs onto per-VPP timelines, so the kernel duration reflects both
  * the work and the barrier/imbalance structure of the script.
+ *
+ * Host-parallel interpretation: the paper's VPPs execute their script
+ * sections concurrently between signal/wait barriers, and the
+ * interpreter exploits the same independence. Each VPP stream is
+ * sliced at Signal/Wait boundaries into segments; all segments
+ * runnable in one scheduling round belong to phases whose inputs are
+ * already barrier-complete, so they execute concurrently on a worker
+ * pool. Accounting (traffic, instruction counts) goes to per-VPP
+ * sinks merged in VPP order, and cross-VPP accumulations (MatVecT,
+ * Outer, the Accum family) are computed into per-VPP scratch and
+ * applied by the scheduler in (VPP, program-order) order at the phase
+ * boundary -- so results, traffic tables, and timings are bitwise
+ * identical for any thread count. See DESIGN.md, "Host-parallel
+ * interpretation".
  */
 #pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "gpusim/device.hpp"
 #include "gpusim/persistent_sim.hpp"
 #include "graph/expr.hpp"
 #include "vpps/script_gen.hpp"
+
+namespace common {
+class ThreadPool;
+}
 
 namespace vpps {
 
@@ -44,11 +66,51 @@ struct RunResult
     std::uint64_t instructions = 0;
 };
 
+/**
+ * One script instruction decoded into fixed-size fields, so the
+ * interpreter's hot loop never re-parses preamble words or looks up
+ * operand counts.
+ */
+struct DecodedInstr
+{
+    Opcode op = Opcode::Nop;
+    std::uint32_t imm = 0;
+    std::uint32_t operands[4] = {0, 0, 0, 0};
+};
+
+/**
+ * A script pre-decoded into flat per-VPP instruction arrays. Built
+ * once per distinct script and reused across minibatch replays (the
+ * in-memory analogue of the on-disk kernel cache: identical batches
+ * produce identical script words, so re-decoding is pure waste).
+ */
+struct DecodedProgram
+{
+    int num_vpps = 0;
+    /** Per-VPP decoded instruction stream. */
+    std::vector<std::vector<DecodedInstr>> streams;
+    /** Per-VPP raw stream size in words (prologue fetch modeling). */
+    std::vector<std::size_t> stream_words;
+    /** Total decoded instructions (cache budget accounting). */
+    std::size_t total_instructions = 0;
+};
+
 /** Interprets generated scripts against the simulated device. */
 class ScriptExecutor
 {
   public:
-    explicit ScriptExecutor(gpusim::Device& device);
+    /**
+     * @param device the simulated GPU to execute against
+     * @param threads host worker threads used to interpret
+     * independent per-VPP segments concurrently; <= 0 defers to the
+     * VPPS_HOST_THREADS environment variable, else 1 (serial).
+     * Results are bitwise identical for every thread count.
+     */
+    explicit ScriptExecutor(gpusim::Device& device, int threads = 0);
+    ~ScriptExecutor();
+
+    /** Resolved host thread count. */
+    int threads() const { return threads_; }
 
     /**
      * Run one batch's script: prologue (weight load, gradient-register
@@ -61,7 +123,18 @@ class ScriptExecutor
                   graph::ComputationGraph& cg);
 
   private:
+    /** Decode @p script, or return the cached decoding of an
+     *  identical earlier script. */
+    const DecodedProgram& decoded(const Script& script);
+
     gpusim::Device& device_;
+    int threads_;
+    std::unique_ptr<common::ThreadPool> pool_;
+
+    /** Decoded programs keyed by script-content hash. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<DecodedProgram>>
+        decode_cache_;
+    std::size_t cached_instructions_ = 0;
 };
 
 } // namespace vpps

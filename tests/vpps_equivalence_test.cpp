@@ -8,13 +8,21 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "data/ner_corpus.hpp"
 #include "data/treebank.hpp"
 #include "data/vocab.hpp"
 #include "exec/agenda_batch_executor.hpp"
 #include "exec/naive_executor.hpp"
+#include "models/bigru_tagger.hpp"
+#include "models/rvnn.hpp"
+#include "models/td_lstm.hpp"
 #include "models/tree_lstm.hpp"
 #include "train/harness.hpp"
 #include "vpps/handle.hpp"
@@ -131,6 +139,144 @@ TEST(VppsEquivalence, AgendaBaselineMatchesNaive)
     EXPECT_LT(maxRelDiff(a.device, a.model.model(), b.device,
                          b.model.model()),
               1e-3);
+}
+
+// ---------------------------------------------------------------
+// Host-parallel determinism: interpreting with N worker threads must
+// be indistinguishable from the serial path -- bitwise-identical
+// losses and parameters, identical DRAM-traffic tables, instruction
+// counts, and simulated makespans. See DESIGN.md, "Host-parallel
+// interpretation".
+// ---------------------------------------------------------------
+
+/** Everything one training run observes that threading could touch. */
+struct DeterminismObservation
+{
+    std::vector<float> losses;
+    std::vector<float> final_params;
+    std::array<double, gpusim::TrafficStats::kNumSpaces> loads{};
+    std::array<double, gpusim::TrafficStats::kNumSpaces> stores{};
+    double atomics = 0.0;
+    double kernel_us = 0.0;
+    double wall_us = 0.0;
+    std::uint64_t instructions = 0;
+};
+
+DeterminismObservation
+trainObserved(const std::string& app, int host_threads,
+              bool cache_gradients)
+{
+    gpusim::Device device{gpusim::DeviceSpec{}, 64u << 20};
+    common::Rng data_rng{91};
+    data::Vocab vocab{300, 10000};
+    data::Treebank bank{vocab, 10, data_rng, 8.0, 4, 12};
+    data::NerCorpus corpus{vocab, 10, data_rng, 8.0, 4, 12};
+    common::Rng param_rng{92};
+
+    std::unique_ptr<models::BenchmarkModel> model;
+    if (app == "Tree-LSTM")
+        model = std::make_unique<models::TreeLstmModel>(
+            bank, vocab, 16, 32, device, param_rng);
+    else if (app == "TD-LSTM")
+        model = std::make_unique<models::TdLstmModel>(bank, vocab, 32,
+                                                      device,
+                                                      param_rng);
+    else if (app == "BiGRU")
+        model = std::make_unique<models::BiGruTagger>(
+            corpus, vocab, 16, 24, 16, device, param_rng);
+    else
+        model = std::make_unique<models::RvnnModel>(bank, vocab, 32,
+                                                    device, param_rng);
+
+    vpps::VppsOptions opts;
+    opts.rpw = 2;
+    opts.async = false; // fb returns the current loss
+    opts.host_threads = host_threads;
+    opts.cache_gradients = cache_gradients;
+    vpps::Handle handle(model->model(), device, opts);
+    device.resetStats();
+    handle.resetStats();
+
+    DeterminismObservation obs;
+    for (std::size_t step = 0; step < 4; ++step) {
+        graph::ComputationGraph cg;
+        graph::Expr loss =
+            train::buildSuperGraph(*model, cg, step * 3, 3);
+        obs.losses.push_back(handle.fb(model->model(), cg, loss));
+    }
+    for (std::size_t s = 0; s < gpusim::TrafficStats::kNumSpaces;
+         ++s) {
+        const auto space = static_cast<gpusim::MemSpace>(s);
+        obs.loads[s] = device.traffic().loadBytes(space);
+        obs.stores[s] = device.traffic().storeBytes(space);
+    }
+    obs.atomics = device.traffic().atomicOps();
+    obs.kernel_us = handle.stats().kernel_us;
+    obs.wall_us = handle.stats().wall_us;
+    obs.instructions = handle.stats().instructions;
+    const graph::Model& m = model->model();
+    for (graph::ParamId pid = 0; pid < m.numParams(); ++pid) {
+        const auto& p = m.param(pid);
+        const float* v = device.memory().data(p.value);
+        obs.final_params.insert(obs.final_params.end(), v,
+                                v + p.shape.size());
+    }
+    return obs;
+}
+
+void
+expectIdentical(const DeterminismObservation& serial,
+                const DeterminismObservation& parallel)
+{
+    ASSERT_EQ(serial.losses.size(), parallel.losses.size());
+    for (std::size_t i = 0; i < serial.losses.size(); ++i)
+        EXPECT_EQ(serial.losses[i], parallel.losses[i])
+            << "loss differs at step " << i;
+    for (std::size_t s = 0; s < gpusim::TrafficStats::kNumSpaces;
+         ++s) {
+        EXPECT_EQ(serial.loads[s], parallel.loads[s])
+            << "load bytes differ for space " << s;
+        EXPECT_EQ(serial.stores[s], parallel.stores[s])
+            << "store bytes differ for space " << s;
+    }
+    EXPECT_EQ(serial.atomics, parallel.atomics);
+    EXPECT_EQ(serial.kernel_us, parallel.kernel_us);
+    EXPECT_EQ(serial.wall_us, parallel.wall_us);
+    EXPECT_EQ(serial.instructions, parallel.instructions);
+    ASSERT_EQ(serial.final_params.size(),
+              parallel.final_params.size());
+    for (std::size_t i = 0; i < serial.final_params.size(); ++i)
+        ASSERT_EQ(serial.final_params[i], parallel.final_params[i])
+            << "final parameter " << i << " differs";
+}
+
+class HostParallelDeterminism
+    : public testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(HostParallelDeterminism, Threads8MatchesSerialBitwise)
+{
+    expectIdentical(trainObserved(GetParam(), 1, true),
+                    trainObserved(GetParam(), 8, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, HostParallelDeterminism,
+                         testing::Values("Tree-LSTM", "TD-LSTM",
+                                         "BiGRU", "RvNN"));
+
+/** The GEMM-fallback gradient strategy must be deterministic too. */
+TEST(HostParallelDeterminismGemm, Threads8MatchesSerialBitwise)
+{
+    expectIdentical(trainObserved("Tree-LSTM", 1, false),
+                    trainObserved("Tree-LSTM", 8, false));
+}
+
+/** Thread counts that do not divide the VPP count evenly. */
+TEST(HostParallelDeterminismOdd, Threads3MatchesSerialBitwise)
+{
+    expectIdentical(trainObserved("TD-LSTM", 1, true),
+                    trainObserved("TD-LSTM", 3, true));
 }
 
 /** The stale-loss contract of Section III-D: with asynchrony on,

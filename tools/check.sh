@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Race check for the host-parallel interpreter: build everything with
+# ThreadSanitizer and run the tier-1 test suite with 8 interpreter
+# threads forced via the environment. Any data race in the phase
+# scheduler, the worker pool, or the per-VPP accounting shows up here.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-tsan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DVPPS_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+VPPS_HOST_THREADS=8 ctest --test-dir "$BUILD_DIR" --output-on-failure
