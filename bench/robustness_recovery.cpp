@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Robustness bench (DESIGN.md section 4.6): what does fault recovery
+ * cost, and what does checkpointed replay cost?
+ *
+ * Part 1 trains Tree-LSTM under seeded transient fault plans of
+ * increasing rate and reports throughput against the fault-free run
+ * plus the per-category recovery counters -- every lost microsecond
+ * is accounted to retransmits, reloads, relaunch backoff, or
+ * rollback+replay, never to silent corruption (the recovered runs are
+ * bitwise identical to fault-free, see fault_recovery_test.cpp).
+ *
+ * Part 2 turns the fault rate up past what in-batch retry absorbs
+ * (scripted transfers corrupted 50% of the time with a single
+ * retransmit allowed) and sweeps the checkpoint interval: frequent
+ * checkpoints cost capture time, sparse ones cost replayed batches.
+ */
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "gpusim/faults.hpp"
+
+namespace {
+
+/** Format a recovery-counter summary like "3rt 1rl 2hg". */
+std::string
+counterSummary(const vpps::RecoveryStats& r)
+{
+    std::string s;
+    const auto add = [&s](std::uint64_t n, const char* tag) {
+        if (n > 0)
+            s += (s.empty() ? "" : " ") + std::to_string(n) + tag;
+    };
+    add(r.script_retransmits, "rt");
+    add(r.weight_reloads, "wl");
+    add(r.relaunches, "rl");
+    add(r.hang_recoveries, "hg");
+    add(r.alloc_retries, "al");
+    add(r.loss_retries, "ls");
+    add(r.rollbacks, "rb");
+    return s.empty() ? "-" : s;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto cli = benchx::parseBenchArgs(argc, argv);
+    const std::size_t batch = 16;
+    const std::size_t n = 8 * benchx::AppRig::pointInputs(batch);
+
+    // -- Part 1: transient-fault overhead curve ---------------------
+    common::Table table({"fault rate", "inputs/s", "vs fault-free",
+                         "recoveries", "counters", "recovery ms"});
+    double baseline_ips = 0.0;
+    for (const double rate : {0.0, 0.01, 0.05, 0.2}) {
+        benchx::AppRig rig("Tree-LSTM");
+        auto opts = benchx::AppRig::defaultOptions();
+        opts.host_threads = cli.threads;
+        if (rate > 0.0)
+            rig.device().installFaults(
+                gpusim::FaultPlan::uniform(rate, 42));
+        benchx::WallTimer timer;
+        vpps::Handle handle(rig.model().model(), rig.device(), opts);
+        const auto r =
+            train::measureVpps(handle, rig.model(), n, batch);
+        const auto& rec = handle.stats().recovery;
+        if (rate == 0.0)
+            baseline_ips = r.inputs_per_sec;
+        table.addRow({common::Table::fmt(rate, 2),
+                      common::Table::fmt(r.inputs_per_sec, 1),
+                      common::Table::fmt(
+                          r.inputs_per_sec / baseline_ips, 3),
+                      std::to_string(rec.totalRecoveries()),
+                      counterSummary(rec),
+                      common::Table::fmt(rec.recovery_us / 1e3, 2)});
+        benchx::printJsonResult(
+            cli, "robustness_recovery",
+            "transient_rate=" + common::Table::fmt(rate, 2),
+            r.wall_us, timer.elapsedMs());
+    }
+    if (!cli.json)
+        benchx::printTable(
+            "Transient-fault recovery overhead (Tree-LSTM, batch 16, "
+            "seeded plan, bitwise-identical results)",
+            table);
+
+    // -- Part 2: checkpoint-interval sweep under batch-killing faults
+    common::Table ck({"ckpt every", "inputs/s", "restores",
+                      "replayed batches", "checkpoints"});
+    for (const std::size_t every : {1, 4, 16}) {
+        benchx::AppRig rig("Tree-LSTM");
+        auto opts = benchx::AppRig::defaultOptions();
+        opts.host_threads = cli.threads;
+        opts.max_retransmits = 1; // one retry, then the batch fails
+        gpusim::FaultPlan plan;
+        plan.seed = 42;
+        plan.script_ecc_rate = 0.5;
+        rig.device().installFaults(plan);
+        benchx::WallTimer timer;
+        vpps::Handle handle(rig.model().model(), rig.device(), opts);
+        train::RecoveryOptions ropts;
+        ropts.checkpoint_every_batches = every;
+        ropts.max_restores = 10000;
+        const auto rep = train::measureVppsRecoverable(
+            handle, rig.device(), rig.model(), n, batch, ropts);
+        ck.addRow({std::to_string(every),
+                   common::Table::fmt(
+                       rep.throughput.inputs_per_sec, 1),
+                   std::to_string(rep.restores),
+                   std::to_string(rep.replayed_batches),
+                   std::to_string(rep.checkpoints)});
+        benchx::printJsonResult(
+            cli, "robustness_recovery",
+            "checkpoint_every=" + std::to_string(every),
+            rep.throughput.wall_us, timer.elapsedMs());
+    }
+    if (!cli.json)
+        benchx::printTable(
+            "Checkpointed recovery under batch-killing faults "
+            "(script ECC 50%, 1 retransmit)",
+            ck);
+    return 0;
+}

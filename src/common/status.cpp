@@ -1,0 +1,108 @@
+#include "common/status.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace common {
+
+const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::EccScript: return "ecc_script";
+      case ErrorCode::EccWeights: return "ecc_weights";
+      case ErrorCode::LaunchFailure: return "launch_failure";
+      case ErrorCode::HungVpp: return "hung_vpp";
+      case ErrorCode::BarrierDeadlock: return "barrier_deadlock";
+      case ErrorCode::OutOfMemory: return "out_of_memory";
+      case ErrorCode::MalformedScript: return "malformed_script";
+      case ErrorCode::NumericalFault: return "numerical_fault";
+      case ErrorCode::RetryExhausted: return "retry_exhausted";
+    }
+    return "unknown";
+}
+
+std::string
+ErrorInfo::toString() const
+{
+    std::ostringstream oss;
+    oss << errorCodeName(code) << ": " << message;
+    bool first = true;
+    auto field = [&](const char* name, long long v, long long unset) {
+        if (v == unset)
+            return;
+        oss << (first ? " (" : ", ") << name << "=" << v;
+        first = false;
+    };
+    field("vpp", vpp, -1);
+    field("pc", pc, -1);
+    field("barrier", barrier, -1);
+    field("attempts", attempts, 0);
+    if (!first)
+        oss << ")";
+    return oss.str();
+}
+
+Status
+Status::failure(ErrorCode code, std::string message)
+{
+    Status s;
+    s.info_ = std::make_unique<ErrorInfo>();
+    s.info_->code = code;
+    s.info_->message = std::move(message);
+    return s;
+}
+
+const ErrorInfo&
+Status::error() const
+{
+    if (!info_)
+        panic("Status::error() called on an OK status");
+    return *info_;
+}
+
+Status&&
+Status::withVpp(int vpp) &&
+{
+    if (info_)
+        info_->vpp = vpp;
+    return std::move(*this);
+}
+
+Status&&
+Status::withPc(long long pc) &&
+{
+    if (info_)
+        info_->pc = pc;
+    return std::move(*this);
+}
+
+Status&&
+Status::withBarrier(long long barrier) &&
+{
+    if (info_)
+        info_->barrier = barrier;
+    return std::move(*this);
+}
+
+Status&&
+Status::withAttempts(int attempts) &&
+{
+    if (info_)
+        info_->attempts = attempts;
+    return std::move(*this);
+}
+
+namespace detail {
+
+void
+badResultAccess(const Status& status)
+{
+    panic("Result::value() on a failed result: ", status.toString());
+}
+
+} // namespace detail
+
+} // namespace common

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Structured, recoverable errors for the VPPS runtime.
+ *
+ * fatal()/panic() (logging.hpp) abort the process and are reserved
+ * for user errors and programmer-error invariants. Everything that a
+ * long-running training job should *survive* -- detected ECC errors,
+ * launch failures, hung VPPs, malformed scripts, exhausted retry
+ * budgets -- instead surfaces as a common::Status / common::Result<T>
+ * carrying enough diagnostics (category, VPP id, pc, barrier index,
+ * attempt count) for the recovery policies in vpps::Handle and
+ * train::Harness to decide between retry, degrade, and rollback.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace common {
+
+/** Category of a recoverable runtime error (the fault taxonomy). */
+enum class ErrorCode : std::uint8_t
+{
+    Ok = 0,
+    EccScript,       //!< detected corruption of a script H2D transfer
+    EccWeights,      //!< detected corruption of a cached-weight load
+    LaunchFailure,   //!< the persistent kernel failed to launch
+    HungVpp,         //!< a VPP stopped making progress (lost signal)
+    BarrierDeadlock, //!< barrier dependencies can never be satisfied
+    OutOfMemory,     //!< device pool allocation failed
+    MalformedScript, //!< script failed static validation
+    NumericalFault,  //!< non-finite loss / corrupted readback
+    RetryExhausted,  //!< a recovery budget was spent without success
+};
+
+/** @return a short stable name for an error category. */
+const char* errorCodeName(ErrorCode code);
+
+/** Diagnostics attached to a failed Status. */
+struct ErrorInfo
+{
+    ErrorCode code = ErrorCode::Ok;
+    std::string message;
+
+    /** VPP the fault localizes to, or -1. */
+    int vpp = -1;
+
+    /** Instruction index within that VPP's stream, or -1. */
+    long long pc = -1;
+
+    /** Barrier index involved, or -1. */
+    long long barrier = -1;
+
+    /** Recovery attempts made before this error was reported. */
+    int attempts = 0;
+
+    /** One-line rendering: "code: message (vpp=..., pc=...)". */
+    std::string toString() const;
+};
+
+/**
+ * Success-or-error result of a fallible operation. OK is a null
+ * pointer (free to construct and move); errors carry heap-allocated
+ * diagnostics. Move-only, [[nodiscard]]: dropping a Status on the
+ * floor is itself a bug.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** OK status. */
+    Status() = default;
+
+    /** Build a failed status; chain the with*() setters for
+     *  diagnostics. */
+    static Status failure(ErrorCode code, std::string message);
+
+    bool ok() const { return info_ == nullptr; }
+
+    ErrorCode
+    code() const
+    {
+        return info_ ? info_->code : ErrorCode::Ok;
+    }
+
+    /** Error diagnostics; must not be called on an OK status. */
+    const ErrorInfo& error() const;
+
+    /** @name Diagnostic setters (no-ops on an OK status)
+     *  @{ */
+    Status&& withVpp(int vpp) &&;
+    Status&& withPc(long long pc) &&;
+    Status&& withBarrier(long long barrier) &&;
+    Status&& withAttempts(int attempts) &&;
+    /** @} */
+
+    std::string
+    toString() const
+    {
+        return ok() ? std::string("ok") : info_->toString();
+    }
+
+  private:
+    std::unique_ptr<ErrorInfo> info_;
+};
+
+/**
+ * A value or a failed Status. value() asserts success (it panics with
+ * the error's diagnostics on failure), so call sites that can recover
+ * must test ok() first.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+
+    Result(Status status) : status_(std::move(status))
+    {
+        // A Result built from a Status must carry an error; an OK
+        // Status with no value is a programmer error caught here by
+        // the value() panic path.
+    }
+
+    bool ok() const { return status_.ok() && value_.has_value(); }
+
+    const Status& status() const { return status_; }
+
+    /** Move the (failed) status out, for error propagation:
+     *  `if (!r.ok()) return r.takeStatus();` */
+    Status takeStatus() { return std::move(status_); }
+
+    const ErrorInfo& error() const { return status_.error(); }
+
+    T&
+    value() &
+    {
+        requireOk();
+        return *value_;
+    }
+
+    const T&
+    value() const&
+    {
+        requireOk();
+        return *value_;
+    }
+
+    T&&
+    value() &&
+    {
+        requireOk();
+        return std::move(*value_);
+    }
+
+  private:
+    void requireOk() const;
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+namespace detail {
+[[noreturn]] void badResultAccess(const Status& status);
+} // namespace detail
+
+template <typename T>
+void
+Result<T>::requireOk() const
+{
+    if (!ok())
+        detail::badResultAccess(status_);
+}
+
+} // namespace common

@@ -11,6 +11,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device_memory.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/faults.hpp"
 
 namespace gpusim {
 
@@ -85,6 +86,24 @@ class Device
     }
     bool functional() const { return functional_; }
 
+    /**
+     * Install a deterministic fault injector (replacing any previous
+     * one). The runtime queries faults() at every fault site; a
+     * device without an injector runs fault-free with zero overhead.
+     */
+    void
+    installFaults(const FaultPlan& plan)
+    {
+        faults_ = std::make_unique<FaultInjector>(plan);
+    }
+
+    /** Remove the installed fault injector, if any. */
+    void clearFaults() { faults_.reset(); }
+
+    /** @return the installed injector, or nullptr. */
+    FaultInjector* faults() { return faults_.get(); }
+    const FaultInjector* faults() const { return faults_.get(); }
+
   private:
     DeviceSpec spec_;
     DeviceMemory memory_;
@@ -92,6 +111,7 @@ class Device
     double busy_us_ = 0.0;
     std::uint64_t launches_ = 0;
     bool functional_ = true;
+    std::unique_ptr<FaultInjector> faults_;
 };
 
 } // namespace gpusim

@@ -76,6 +76,14 @@ DeviceMemory::allocate(std::size_t n, MemSpace space)
     return off;
 }
 
+std::optional<DeviceMemory::Offset>
+DeviceMemory::tryAllocate(std::size_t n, MemSpace space)
+{
+    if (frontier_ + n > pool_.size())
+        return std::nullopt;
+    return allocate(n, space);
+}
+
 void
 DeviceMemory::resetTo(Offset mark)
 {

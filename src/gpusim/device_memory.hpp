@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace gpusim {
@@ -111,6 +112,14 @@ class DeviceMemory
      * @return the element offset of the new region.
      */
     Offset allocate(std::size_t n, MemSpace space);
+
+    /**
+     * Allocation variant with an error channel: nullopt when the pool
+     * cannot satisfy the request, instead of the fatal() that
+     * allocate() raises. Callers with a recovery path (the batch
+     * retry loop in vpps::Handle) use this form.
+     */
+    std::optional<Offset> tryAllocate(std::size_t n, MemSpace space);
 
     /** @return a mark capturing the current allocation frontier. */
     Offset mark() const { return frontier_; }

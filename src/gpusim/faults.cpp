@@ -1,0 +1,108 @@
+#include "gpusim/faults.hpp"
+
+#include <cstdlib>
+
+namespace gpusim {
+
+FaultPlan
+FaultPlan::uniform(double rate, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.script_ecc_rate = rate;
+    plan.weight_ecc_rate = rate;
+    plan.launch_fail_rate = rate;
+    plan.hang_rate = rate;
+    plan.alloc_fail_rate = rate;
+    plan.loss_ecc_rate = rate;
+    return plan;
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromEnv()
+{
+    const char* rate_env = std::getenv("VPPS_FAULT_RATE");
+    if (!rate_env)
+        return std::nullopt;
+    const double rate = std::atof(rate_env);
+    if (rate <= 0.0)
+        return std::nullopt;
+    std::uint64_t seed = 1;
+    if (const char* seed_env = std::getenv("VPPS_FAULT_SEED"))
+        seed = std::strtoull(seed_env, nullptr, 10);
+    return uniform(rate, seed);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan), rng_(plan.seed)
+{
+}
+
+bool
+FaultInjector::corruptScriptTransfer()
+{
+    if (plan_.script_ecc_rate <= 0.0 ||
+        !rng_.nextBernoulli(plan_.script_ecc_rate))
+        return false;
+    ++log_.script_ecc;
+    return true;
+}
+
+std::optional<int>
+FaultInjector::corruptWeightLoad(int num_vpps)
+{
+    if (num_vpps <= 0 || plan_.weight_ecc_rate <= 0.0 ||
+        !rng_.nextBernoulli(plan_.weight_ecc_rate))
+        return std::nullopt;
+    ++log_.weight_ecc;
+    return static_cast<int>(
+        rng_.nextBelow(static_cast<std::uint64_t>(num_vpps)));
+}
+
+bool
+FaultInjector::failLaunch(bool gradients_cached)
+{
+    if (plan_.permanent_launch_faults) {
+        if (!gradients_cached)
+            return false;
+        ++log_.launch_failures;
+        return true;
+    }
+    if (plan_.launch_fail_rate <= 0.0 ||
+        !rng_.nextBernoulli(plan_.launch_fail_rate))
+        return false;
+    ++log_.launch_failures;
+    return true;
+}
+
+std::optional<int>
+FaultInjector::drawHang(const std::vector<int>& eligible)
+{
+    if (eligible.empty() || plan_.hang_rate <= 0.0 ||
+        !rng_.nextBernoulli(plan_.hang_rate))
+        return std::nullopt;
+    ++log_.hangs;
+    return eligible[rng_.nextBelow(eligible.size())];
+}
+
+bool
+FaultInjector::failBatchAlloc()
+{
+    if (plan_.alloc_fail_rate <= 0.0 ||
+        !rng_.nextBernoulli(plan_.alloc_fail_rate))
+        return false;
+    ++log_.alloc_failures;
+    return true;
+}
+
+bool
+FaultInjector::corruptLossReadback()
+{
+    if (plan_.loss_ecc_rate <= 0.0 ||
+        !rng_.nextBernoulli(plan_.loss_ecc_rate))
+        return false;
+    ++log_.loss_ecc;
+    return true;
+}
+
+} // namespace gpusim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the simulated GPU.
+ *
+ * A production VPPS deployment runs one persistent kernel for hours
+ * over millions of minibatches; at that scale transient device faults
+ * (DRAM ECC errors, launch failures, hung CTAs, allocation failures)
+ * are routine events, not exceptional ones. The simulator is exactly
+ * the place to study them deterministically: a FaultInjector owned by
+ * the Device draws from its own xoshiro stream, and every draw happens
+ * in serial host code, so a given FaultPlan produces the identical
+ * fault sequence on every run and at every host thread count.
+ *
+ * The injected faults are all *detected* faults (the GPU's SECDED ECC
+ * reports uncorrectable errors; a failed launch returns an error
+ * code; a hung kernel trips a watchdog): the runtime sees an error
+ * signal rather than silently corrupted data, which is what makes the
+ * recovery policies in vpps::Handle able to restore bitwise-identical
+ * training trajectories.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpusim {
+
+/** Per-category fault rates plus the stream seed. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    /** P(a script H2D transfer is corrupted), per transfer. */
+    double script_ecc_rate = 0.0;
+
+    /** P(a VPP's cached-weight prologue load is corrupted), per VPP
+     *  per launch. */
+    double weight_ecc_rate = 0.0;
+
+    /** P(a persistent-kernel launch fails), per launch attempt. */
+    double launch_fail_rate = 0.0;
+
+    /** P(one VPP hangs -- drops its next Signal), per invocation. */
+    double hang_rate = 0.0;
+
+    /** P(the batch workspace allocation fails), per batch attempt. */
+    double alloc_fail_rate = 0.0;
+
+    /** P(the 4-byte loss readback is corrupted), per readback. */
+    double loss_ecc_rate = 0.0;
+
+    /**
+     * Permanent-fault mode: every launch of a kernel that caches
+     * gradients in registers fails deterministically (modeling, e.g.,
+     * a partially failed register file that only the register-hungry
+     * specialization exercises). The GEMM-fallback kernel still
+     * launches, so graceful degradation makes progress.
+     */
+    bool permanent_launch_faults = false;
+
+    /** Same rate for every transient category. */
+    static FaultPlan uniform(double rate, std::uint64_t seed);
+
+    /**
+     * Plan from VPPS_FAULT_RATE / VPPS_FAULT_SEED environment
+     * variables (the tools/check.sh soak pass); nullopt when
+     * VPPS_FAULT_RATE is unset or not positive.
+     */
+    static std::optional<FaultPlan> fromEnv();
+
+    bool
+    any() const
+    {
+        return script_ecc_rate > 0.0 || weight_ecc_rate > 0.0 ||
+               launch_fail_rate > 0.0 || hang_rate > 0.0 ||
+               alloc_fail_rate > 0.0 || loss_ecc_rate > 0.0 ||
+               permanent_launch_faults;
+    }
+};
+
+/** Count of faults injected so far, per category. */
+struct FaultLog
+{
+    std::uint64_t script_ecc = 0;
+    std::uint64_t weight_ecc = 0;
+    std::uint64_t launch_failures = 0;
+    std::uint64_t hangs = 0;
+    std::uint64_t alloc_failures = 0;
+    std::uint64_t loss_ecc = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return script_ecc + weight_ecc + launch_failures + hangs +
+               alloc_failures + loss_ecc;
+    }
+};
+
+/**
+ * Draws faults according to a FaultPlan. One injector per Device;
+ * every query advances the deterministic stream and logs any hit.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /** Faults injected so far (tests compare against the runtime's
+     *  per-category recovery counters). */
+    const FaultLog& injected() const { return log_; }
+
+    /** Detected ECC error on a script H2D transfer? */
+    bool corruptScriptTransfer();
+
+    /** Detected ECC error on one VPP's cached-weight prologue load?
+     *  @return the affected VPP (drawn uniformly), or nullopt. */
+    std::optional<int> corruptWeightLoad(int num_vpps);
+
+    /**
+     * Does this launch attempt of the persistent kernel fail?
+     * Permanent faults hit only gradient-cached kernels (see
+     * FaultPlan::permanent_launch_faults).
+     */
+    bool failLaunch(bool gradients_cached);
+
+    /**
+     * Does one VPP hang this invocation? Drawn among @p eligible
+     * (VPPs whose stream contains at least one Signal to drop).
+     * @return the hung VPP id, or nullopt.
+     */
+    std::optional<int> drawHang(const std::vector<int>& eligible);
+
+    /** Does the batch workspace allocation fail? */
+    bool failBatchAlloc();
+
+    /** Is the loss readback corrupted? */
+    bool corruptLossReadback();
+
+  private:
+    FaultPlan plan_;
+    common::Rng rng_;
+    FaultLog log_;
+};
+
+} // namespace gpusim

@@ -55,6 +55,18 @@ PersistentSim::signal(std::size_t barrier, int vpp)
     ++barrier_ops_;
 }
 
+int
+PersistentSim::expectedAt(std::size_t barrier) const
+{
+    return barrier < barriers_.size() ? barriers_[barrier].expected : 0;
+}
+
+int
+PersistentSim::arrivedAt(std::size_t barrier) const
+{
+    return barrier < barriers_.size() ? barriers_[barrier].arrived : 0;
+}
+
 bool
 PersistentSim::barrierReady(std::size_t barrier) const
 {

@@ -74,6 +74,15 @@ class PersistentSim
     /** Total signal+wait pairs resolved (diagnostics). */
     std::uint64_t barrierOps() const { return barrier_ops_; }
 
+    /** @name Stall diagnostics (barrier watchdog)
+     * Signals expected/arrived at @p barrier; 0 for barriers the sim
+     * has never seen. Used by the script executor to report *which*
+     * barriers are starved when the schedule stops making progress.
+     *  @{ */
+    int expectedAt(std::size_t barrier) const;
+    int arrivedAt(std::size_t barrier) const;
+    /** @} */
+
   private:
     struct Barrier
     {

@@ -1,5 +1,7 @@
 #include "train/harness.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace train {
@@ -72,6 +74,115 @@ measureVpps(vpps::Handle& handle, models::BenchmarkModel& bm,
     r.inputs_per_sec =
         static_cast<double>(trained) / (r.wall_us * 1e-6);
     return r;
+}
+
+TrainCheckpoint
+captureCheckpoint(const graph::Model& model,
+                  const gpusim::Device& device, std::size_t next_input)
+{
+    TrainCheckpoint ckpt;
+    ckpt.next_input = next_input;
+    ckpt.learning_rate = model.learning_rate;
+    ckpt.weight_decay = model.weight_decay;
+    const auto& mem = device.memory();
+    for (graph::ParamId id = 0; id < model.numParams(); ++id) {
+        const auto& p = model.param(id);
+        const float* v = mem.data(p.value);
+        ckpt.params.insert(ckpt.params.end(), v, v + p.shape.size());
+    }
+    return ckpt;
+}
+
+void
+restoreCheckpoint(const TrainCheckpoint& ckpt, graph::Model& model,
+                  gpusim::Device& device)
+{
+    model.learning_rate = ckpt.learning_rate;
+    model.weight_decay = ckpt.weight_decay;
+    auto& mem = device.memory();
+    std::size_t pos = 0;
+    for (graph::ParamId id = 0; id < model.numParams(); ++id) {
+        const auto& p = model.param(id);
+        if (pos + p.shape.size() > ckpt.params.size())
+            common::fatal("restoreCheckpoint: checkpoint holds ",
+                          ckpt.params.size(),
+                          " floats but the model needs more; was it "
+                          "captured from a different model?");
+        std::copy(ckpt.params.begin() +
+                      static_cast<std::ptrdiff_t>(pos),
+                  ckpt.params.begin() +
+                      static_cast<std::ptrdiff_t>(pos + p.shape.size()),
+                  mem.data(p.value));
+        pos += p.shape.size();
+    }
+}
+
+RecoveryReport
+measureVppsRecoverable(vpps::Handle& handle, gpusim::Device& device,
+                       models::BenchmarkModel& bm,
+                       std::size_t num_inputs, std::size_t batch_size,
+                       const RecoveryOptions& opts)
+{
+    handle.resetStats();
+    RecoveryReport rep;
+    rep.throughput.system = "VPPS+recovery";
+    rep.throughput.batch_size = batch_size;
+
+    // Epoch-periodic default: one checkpoint per pass over the
+    // dataset.
+    std::size_t every = opts.checkpoint_every_batches;
+    if (every == 0)
+        every = std::max<std::size_t>(
+            1, (bm.datasetSize() + batch_size - 1) / batch_size);
+
+    graph::Model& model = bm.model();
+    TrainCheckpoint ckpt = captureCheckpoint(model, device, 0);
+    ++rep.checkpoints;
+
+    std::size_t trained = 0;
+    std::size_t batches_since_ckpt = 0;
+    while (trained < num_inputs) {
+        graph::ComputationGraph cg;
+        graph::Expr loss =
+            buildSuperGraph(bm, cg, trained, batch_size);
+        auto r = handle.fbTry(model, cg, loss);
+        if (!r.ok()) {
+            rep.last_error = r.status().toString();
+            if (rep.restores >= opts.max_restores) {
+                common::warn("measureVppsRecoverable: abandoning "
+                             "training after ",
+                             rep.restores, " restores; last error: ",
+                             rep.last_error);
+                break;
+            }
+            ++rep.restores;
+            rep.replayed_batches +=
+                (trained - ckpt.next_input) / batch_size;
+            restoreCheckpoint(ckpt, model, device);
+            trained = ckpt.next_input;
+            batches_since_ckpt = 0;
+            continue;
+        }
+        rep.throughput.last_loss = r.value();
+        trained += batch_size;
+        if (++batches_since_ckpt >= every && trained < num_inputs) {
+            ckpt = captureCheckpoint(model, device, trained);
+            ++rep.checkpoints;
+            batches_since_ckpt = 0;
+        }
+    }
+    rep.completed = trained >= num_inputs;
+    rep.throughput.last_loss = handle.sync_get_latest_loss();
+
+    const auto& s = handle.stats();
+    rep.throughput.cpu_us = s.cpuUs();
+    rep.throughput.gpu_us = s.gpuUs();
+    rep.throughput.wall_us = s.wall_us;
+    if (rep.throughput.wall_us > 0.0)
+        rep.throughput.inputs_per_sec =
+            static_cast<double>(trained) /
+            (rep.throughput.wall_us * 1e-6);
+    return rep;
 }
 
 } // namespace train

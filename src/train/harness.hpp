@@ -63,4 +63,78 @@ ThroughputResult measureVpps(vpps::Handle& handle,
                              std::size_t num_inputs,
                              std::size_t batch_size);
 
+/**
+ * A point-in-time training state: every parameter's master values
+ * (weights, biases, embedding tables -- the SGD optimizer state is
+ * exactly these plus the scalar hyper-parameters) and the dataset
+ * position to resume from. Restoring it replays training forward
+ * deterministically, so recovered runs end bitwise identical to
+ * uninterrupted ones.
+ */
+struct TrainCheckpoint
+{
+    std::size_t next_input = 0;
+    float learning_rate = 0.0f;
+    float weight_decay = 0.0f;
+    /** All parameter values, concatenated in ParamId order. */
+    std::vector<float> params;
+};
+
+/** Copy the training state out of device memory. */
+TrainCheckpoint captureCheckpoint(const graph::Model& model,
+                                  const gpusim::Device& device,
+                                  std::size_t next_input);
+
+/** Write a checkpoint's state back into the model and device. */
+void restoreCheckpoint(const TrainCheckpoint& ckpt,
+                       graph::Model& model, gpusim::Device& device);
+
+/** Knobs for measureVppsRecoverable(). */
+struct RecoveryOptions
+{
+    /** Batches between checkpoints; 0 checkpoints once per dataset
+     *  pass ("epoch-periodic"). */
+    std::size_t checkpoint_every_batches = 0;
+
+    /** Checkpoint restores allowed before training is abandoned. */
+    std::size_t max_restores = 8;
+};
+
+/** What happened during a recoverable training run. */
+struct RecoveryReport
+{
+    ThroughputResult throughput;
+
+    /** Checkpoints captured (including the initial one). */
+    std::uint64_t checkpoints = 0;
+
+    /** Restores performed after unrecoverable batch errors. */
+    std::uint64_t restores = 0;
+
+    /** Previously-completed batches discarded and retrained. */
+    std::uint64_t replayed_batches = 0;
+
+    /** True when all requested inputs finished training. */
+    bool completed = false;
+
+    /** Diagnostics of the last fbTry() error ("" if none). */
+    std::string last_error;
+};
+
+/**
+ * measureVpps() with checkpointed recovery: trains through fbTry(),
+ * captures epoch-periodic parameter+optimizer checkpoints, and on an
+ * unrecoverable batch error restores the latest checkpoint and
+ * replays from its dataset position (up to opts.max_restores times).
+ * Because checkpoints snapshot the exact parameter bits and batch
+ * composition is a pure function of the dataset position, a recovered
+ * run's final parameters are bitwise identical to a fault-free run's.
+ */
+RecoveryReport measureVppsRecoverable(vpps::Handle& handle,
+                                      gpusim::Device& device,
+                                      models::BenchmarkModel& bm,
+                                      std::size_t num_inputs,
+                                      std::size_t batch_size,
+                                      const RecoveryOptions& opts = {});
+
 } // namespace train

@@ -73,6 +73,50 @@ struct VppsOptions
      * VPPS_HOST_THREADS environment variable, else 1 (serial).
      */
     int host_threads = 0;
+
+    /** @name Fault tolerance and recovery (see DESIGN.md section 4.6)
+     *  @{ */
+
+    /**
+     * Kernel relaunch budget per batch. A failed launch is retried
+     * with exponential backoff; once the budget is spent the handle
+     * degrades to another specialization (untried rpw, then the
+     * GEMM-fallback kernel) and replays the batch.
+     */
+    int max_relaunch_attempts = 3;
+
+    /**
+     * Budget for checksum-verified script retransmits, workspace
+     * allocation retries, loss-readback re-reads, and hung-kernel
+     * replays, each counted per batch. Exceeding it surfaces a
+     * RetryExhausted / OutOfMemory error from fbTry().
+     */
+    int max_retransmits = 5;
+
+    /** Base of the exponential relaunch backoff, simulated us; the
+     *  n-th retry of a batch waits base * 2^(n-1). */
+    double relaunch_backoff_us = 50.0;
+
+    /**
+     * Skip batches whose loss is non-finite: parameters are rolled
+     * back to their pre-batch snapshot, so one poisoned batch cannot
+     * destroy the model. Only active in functional mode (timing-only
+     * runs have no real loss to test).
+     */
+    bool nan_guard = true;
+
+    /**
+     * >= 0 installs a uniform-rate FaultInjector on the device at
+     * handle construction (unless one is already installed); < 0
+     * defers to VPPS_FAULT_RATE / VPPS_FAULT_SEED (tools/check.sh's
+     * soak pass), and if those are unset too, runs fault-free.
+     */
+    double fault_rate = -1.0;
+
+    /** Seed for fault_rate-installed injectors; < 0 means 1. */
+    long long fault_seed = -1;
+
+    /** @} */
 };
 
 /** A contiguous run of matrix rows cached by one VPP. */

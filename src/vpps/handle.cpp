@@ -1,6 +1,7 @@
 #include "vpps/handle.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
 #include "vpps/kernel_cache.hpp"
@@ -69,80 +70,377 @@ Handle::Handle(graph::Model& model, gpusim::Device& device,
         jit_seconds_ += k.prog_compile_s + k.module_load_s;
     common::inform("vpps::Handle: compiled ", kernels_.size(),
                    " kernel(s) in ", jit_seconds_, " s (modeled NVRTC)");
+
+    // Fault-injection plumbing: an injector already installed on the
+    // device wins; otherwise opts.fault_rate >= 0 installs a uniform
+    // plan, and failing that the VPPS_FAULT_RATE / VPPS_FAULT_SEED
+    // environment variables (the tools/check.sh soak pass) apply.
+    if (!device_.faults()) {
+        if (opts_.fault_rate >= 0.0) {
+            device_.installFaults(gpusim::FaultPlan::uniform(
+                opts_.fault_rate,
+                opts_.fault_seed >= 0
+                    ? static_cast<std::uint64_t>(opts_.fault_seed)
+                    : 1u));
+        } else if (auto plan = gpusim::FaultPlan::fromEnv()) {
+            device_.installFaults(*plan);
+        }
+    }
 }
 
 const CompiledKernel&
 Handle::kernel() const
 {
-    const int rpw = tuner_ ? tuner_->candidate() : opts_.rpw;
+    if (fallback_kernel_)
+        return *fallback_kernel_;
+    const int rpw = forced_rpw_ > 0
+                        ? forced_rpw_
+                        : (tuner_ ? tuner_->candidate() : opts_.rpw);
     auto it = kernels_.find(rpw);
     if (it == kernels_.end())
         common::panic("vpps::Handle: no kernel for rpw ", rpw);
     return it->second;
 }
 
+bool
+Handle::degrade(graph::Model& model)
+{
+    if (fallback_kernel_)
+        return false; // nothing healthier left to switch to
+    ++stats_.recovery.degradations;
+    const int bad_rpw = kernel().plan.rpw();
+    degraded_rpws_.push_back(bad_rpw);
+    // Health over speed: the profile-guided search is void once a
+    // specialization is suspected faulty.
+    tuner_.reset();
+    for (const auto& [rpw, k] : kernels_) {
+        (void)k;
+        if (std::find(degraded_rpws_.begin(), degraded_rpws_.end(),
+                      rpw) == degraded_rpws_.end()) {
+            forced_rpw_ = rpw;
+            common::inform("vpps::Handle: degrading rpw ", bad_rpw,
+                           " -> ", rpw,
+                           " after repeated launch failures");
+            return true;
+        }
+    }
+    // Last resort: the uncached-gradient GEMM strategy (Section
+    // III-C2). Its kernel keeps only weights in registers, so a
+    // register-file fault that the gradient-cached specializations
+    // keep tripping over cannot reach it.
+    VppsOptions fopts = opts_;
+    fopts.cache_gradients = false;
+    fopts.ctas_per_sm = 0;
+    fallback_kernel_ = obtainKernel(model, device_, fopts, bad_rpw);
+    jit_seconds_ += fallback_kernel_->prog_compile_s +
+                    fallback_kernel_->module_load_s;
+    forced_rpw_ = 0;
+    common::inform("vpps::Handle: degrading to the GEMM-fallback "
+                   "kernel after repeated launch failures");
+    return true;
+}
+
+void
+Handle::captureParamSnapshot(const graph::Model& model)
+{
+    auto& mem = device_.memory();
+    param_snapshot_.clear();
+    for (graph::ParamId id = 0; id < model.numParams(); ++id) {
+        const auto& p = model.param(id);
+        const float* v = mem.data(p.value);
+        param_snapshot_.insert(param_snapshot_.end(), v,
+                               v + p.shape.size());
+    }
+}
+
+void
+Handle::restoreParamSnapshot(const graph::Model& model)
+{
+    auto& mem = device_.memory();
+    std::size_t pos = 0;
+    for (graph::ParamId id = 0; id < model.numParams(); ++id) {
+        const auto& p = model.param(id);
+        std::copy(param_snapshot_.begin() +
+                      static_cast<std::ptrdiff_t>(pos),
+                  param_snapshot_.begin() +
+                      static_cast<std::ptrdiff_t>(pos + p.shape.size()),
+                  mem.data(p.value));
+        pos += p.shape.size();
+    }
+}
+
 float
 Handle::fb(graph::Model& model, graph::ComputationGraph& cg,
            graph::Expr loss)
 {
-    const CompiledKernel& k = kernel();
+    auto r = fbTry(model, cg, loss);
+    if (!r.ok())
+        common::fatal("vpps::Handle::fb: unrecoverable error: ",
+                      r.status().toString());
+    return r.value();
+}
+
+common::Result<float>
+Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
+              graph::Expr loss)
+{
+    using common::ErrorCode;
+    using common::Status;
+
     auto& mem = device_.memory();
+    auto& rec = stats_.recovery;
+    gpusim::FaultInjector* inj = device_.faults();
     const auto mark = mem.mark();
-
-    // Host: graph construction + script generation.
-    const ScriptGenerator generator(k, host_);
-    GeneratedBatch gb = generator.generate(device_, model, cg, loss);
-
-    const double ws = host_.workingSetFactor(gb.stats.live_nodes);
-    const double graph_us =
-        static_cast<double>(cg.size()) * host_.graph_node_us * ws;
-
-    // Host-to-device transfer: one pinned-buffer copy for the whole
-    // script (prefix-sum header + per-VPP sections) plus the staged
-    // inputs.
-    const double transfer_bytes =
-        gb.script.bytes() + gb.stats.input_bytes;
-    const double transfer_us =
-        host_.pcie_copy_fixed_us +
-        transfer_bytes / (host_.pcie_bandwidth_gbps * 1e3);
-    device_.addStore(gpusim::MemSpace::Script, gb.script.bytes());
-
-    // Device: gradient-buffer memset + the persistent kernel.
     const double gpu_before = device_.busyUs();
-    {
-        gpusim::KernelCost memset_cost;
-        memset_cost.dram_store_bytes = gb.stats.zeroed_bytes;
-        memset_cost.parallel_threads = gb.stats.zeroed_bytes / 4.0;
-        device_.addStore(gpusim::MemSpace::ActGrads,
-                         gb.stats.zeroed_bytes);
-        device_.launchKernel(memset_cost);
-    }
-    RunResult rr = executor_.run(k, gb, model, cg);
-    const double gpu_us = device_.busyUs() - gpu_before;
 
-    const double cpu_us = graph_us + gb.stats.fwd_sched_us +
-                          gb.stats.bwd_sched_us + transfer_us;
+    // Host-time components accumulate across recovery replays: a
+    // rolled-back batch regenerates its script, and that host work --
+    // like the device time of a killed kernel -- is genuinely spent.
+    double graph_us = 0.0;
+    double fwd_us = 0.0;
+    double bwd_us = 0.0;
+    double transfer_us = 0.0;
+
+    int alloc_attempts = 0;
+    int hang_attempts = 0;
+    bool snapshotted = false;
+    bool skipped = false;
+    float batch_loss = 0.0f;
+    double kernel_us = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t live_nodes = 0;
+
+    // Batch-attempt loop. Every `continue` has first incremented one
+    // of the bounded per-category counters (alloc_attempts,
+    // hang_attempts, or the degradation ladder, which is finite), so
+    // the loop terminates for every fault plan.
+    for (;;) {
+        const CompiledKernel& k = kernel();
+
+        // Batch workspace acquisition. An injected transient
+        // allocation failure is recovered by resetting the pool to
+        // the pre-batch mark (freeing any partial placement) and
+        // retrying the batch.
+        if (inj && inj->failBatchAlloc()) {
+            ++rec.alloc_retries;
+            if (alloc_attempts++ >= opts_.max_retransmits) {
+                mem.resetTo(mark);
+                return Status::failure(
+                           ErrorCode::OutOfMemory,
+                           "batch workspace allocation kept failing")
+                    .withAttempts(alloc_attempts);
+            }
+            mem.resetTo(mark);
+            continue;
+        }
+
+        // Host: graph construction + script generation.
+        const ScriptGenerator generator(k, host_);
+        GeneratedBatch gb = generator.generate(device_, model, cg,
+                                               loss);
+
+        const double ws = host_.workingSetFactor(gb.stats.live_nodes);
+        graph_us +=
+            static_cast<double>(cg.size()) * host_.graph_node_us * ws;
+        fwd_us += gb.stats.fwd_sched_us;
+        bwd_us += gb.stats.bwd_sched_us;
+        live_nodes = gb.stats.live_nodes;
+
+        // Host-to-device transfer: one pinned-buffer copy for the
+        // whole script (prefix-sum header + per-VPP sections) plus
+        // the staged inputs. The device-side copy is verified against
+        // the host-side FNV digest (Script::checksum()); a detected
+        // ECC corruption retransmits the buffer, up to the budget.
+        const double copy_us =
+            host_.pcie_copy_fixed_us +
+            (gb.script.bytes() + gb.stats.input_bytes) /
+                (host_.pcie_bandwidth_gbps * 1e3);
+        transfer_us += copy_us;
+        device_.addStore(gpusim::MemSpace::Script, gb.script.bytes());
+        int retransmits = 0;
+        bool transfer_dead = false;
+        while (inj && inj->corruptScriptTransfer()) {
+            ++rec.script_retransmits;
+            if (retransmits++ >= opts_.max_retransmits) {
+                transfer_dead = true;
+                break;
+            }
+            transfer_us += copy_us;
+            rec.recovery_us += copy_us;
+            device_.addStore(gpusim::MemSpace::Script,
+                             gb.script.bytes());
+        }
+        if (transfer_dead) {
+            mem.resetTo(mark);
+            return Status::failure(
+                       ErrorCode::EccScript,
+                       "script transfer checksum kept failing")
+                .withAttempts(retransmits);
+        }
+
+        // Snapshot parameters before the kernel can mutate them
+        // (UpdateVec instructions run mid-script), so a hung or
+        // poisoned batch can roll back. Fault-free runs with the NaN
+        // guard off skip the copy entirely.
+        if (!snapshotted &&
+            (inj != nullptr ||
+             (opts_.nan_guard && device_.functional()))) {
+            captureParamSnapshot(model);
+            snapshotted = true;
+        }
+
+        const double attempt_gpu_start = device_.busyUs();
+
+        // Device: gradient-buffer memset + the persistent kernel.
+        {
+            gpusim::KernelCost memset_cost;
+            memset_cost.dram_store_bytes = gb.stats.zeroed_bytes;
+            memset_cost.parallel_threads = gb.stats.zeroed_bytes / 4.0;
+            device_.addStore(gpusim::MemSpace::ActGrads,
+                             gb.stats.zeroed_bytes);
+            device_.launchKernel(memset_cost);
+        }
+
+        // Launch, with bounded retry and exponential backoff. An
+        // exhausted budget degrades the specialization (next untried
+        // rpw, then the GEMM fallback) and replays the batch: the new
+        // kernel's distribution plan needs a new script.
+        int launch_attempts = 0;
+        bool degraded = false;
+        while (inj && inj->failLaunch(k.plan.gradientsCached())) {
+            ++rec.relaunches;
+            ++launch_attempts;
+            gpusim::KernelCost failed_launch;
+            failed_launch.latency_hops = 0.0;
+            const double launch_cost =
+                device_.launchKernel(failed_launch);
+            const double backoff =
+                opts_.relaunch_backoff_us *
+                static_cast<double>(1u << (launch_attempts - 1));
+            device_.chargeTime(backoff);
+            rec.recovery_us += launch_cost + backoff;
+            if (launch_attempts >= opts_.max_relaunch_attempts) {
+                if (!degrade(model)) {
+                    mem.resetTo(mark);
+                    return Status::failure(
+                               ErrorCode::LaunchFailure,
+                               "relaunch budget exhausted on the "
+                               "fallback kernel")
+                        .withAttempts(launch_attempts);
+                }
+                degraded = true;
+                break;
+            }
+        }
+        if (degraded) {
+            mem.resetTo(mark);
+            continue;
+        }
+
+        const std::uint64_t wecc_before =
+            inj ? inj->injected().weight_ecc : 0;
+        auto run = executor_.run(k, gb, model, cg);
+        // Weight-ECC reloads recover inside the executor (a second
+        // prologue fetch); mirror the injector's count so the
+        // counters stay category-for-category comparable even when a
+        // later fault discards the attempt's RunResult.
+        if (inj)
+            rec.weight_reloads +=
+                inj->injected().weight_ecc - wecc_before;
+        if (!run.ok()) {
+            rec.recovery_us += device_.busyUs() - attempt_gpu_start;
+            if (run.status().code() == ErrorCode::HungVpp) {
+                // Watchdog killed the kernel mid-batch: parameters
+                // may hold partial updates, so roll back to the
+                // pre-batch snapshot and replay from scratch.
+                ++rec.hang_recoveries;
+                ++rec.rollbacks;
+                restoreParamSnapshot(model);
+                mem.resetTo(mark);
+                if (hang_attempts++ >= opts_.max_retransmits)
+                    return Status::failure(
+                               ErrorCode::RetryExhausted,
+                               "hung-kernel replay budget exhausted")
+                        .withAttempts(hang_attempts);
+                continue;
+            }
+            // Malformed scripts and genuine barrier deadlocks are
+            // deterministic: replaying the same script cannot help.
+            if (snapshotted)
+                restoreParamSnapshot(model);
+            mem.resetTo(mark);
+            return run.takeStatus();
+        }
+        const RunResult rr = std::move(run).value();
+        kernel_us = rr.kernel_us;
+        instructions += rr.instructions;
+
+        // Loss readback, re-read on detected corruption: the value in
+        // device memory is intact (the fault hit the 4-byte D2H
+        // copy), so a re-read suffices -- no rollback.
+        int rereads = 0;
+        bool readback_dead = false;
+        while (inj && inj->corruptLossReadback()) {
+            ++rec.loss_retries;
+            if (rereads++ >= opts_.max_retransmits) {
+                readback_dead = true;
+                break;
+            }
+            transfer_us += host_.pcie_copy_fixed_us;
+            rec.recovery_us += host_.pcie_copy_fixed_us;
+        }
+        if (readback_dead) {
+            if (snapshotted)
+                restoreParamSnapshot(model);
+            mem.resetTo(mark);
+            return Status::failure(
+                       ErrorCode::NumericalFault,
+                       "loss readback kept failing verification")
+                .withAttempts(rereads);
+        }
+        batch_loss = rr.loss;
+
+        // Genuine non-finite loss (diverged or poisoned batch):
+        // abandon the update, restore the pre-batch parameters, and
+        // report the batch skipped rather than spreading NaNs into
+        // every weight.
+        if (opts_.nan_guard && device_.functional() &&
+            !std::isfinite(batch_loss)) {
+            ++rec.skipped_batches;
+            ++rec.rollbacks;
+            rec.recovery_us += device_.busyUs() - attempt_gpu_start;
+            restoreParamSnapshot(model);
+            skipped = true;
+        }
+        break;
+    }
+
+    const double gpu_us = device_.busyUs() - gpu_before;
+    const double cpu_us = graph_us + fwd_us + bwd_us + transfer_us;
     pipeline_.submit({cpu_us, gpu_us});
 
     stats_.graph_us += graph_us;
-    stats_.fwd_sched_us += gb.stats.fwd_sched_us;
-    stats_.bwd_sched_us += gb.stats.bwd_sched_us;
+    stats_.fwd_sched_us += fwd_us;
+    stats_.bwd_sched_us += bwd_us;
     stats_.transfer_us += transfer_us;
-    stats_.kernel_us += rr.kernel_us;
-    stats_.extra_kernel_us += gpu_us - rr.kernel_us;
+    stats_.kernel_us += kernel_us;
+    stats_.extra_kernel_us += gpu_us - kernel_us;
     stats_.wall_us = pipeline_.makespanUs();
     stats_.batches += 1;
-    stats_.instructions += rr.instructions;
-    stats_.nodes += gb.stats.live_nodes;
+    stats_.instructions += instructions;
+    stats_.nodes += live_nodes;
 
     if (tuner_ && !tuner_->done())
         tuner_->record(cpu_us + gpu_us);
 
     mem.resetTo(mark);
 
+    if (skipped)
+        return pending_loss_; // the skipped batch contributes nothing
+
     const float previous = pending_loss_;
-    pending_loss_ = rr.loss;
-    return opts_.async ? previous : rr.loss;
+    pending_loss_ = batch_loss;
+    return opts_.async ? previous : batch_loss;
 }
 
 float

@@ -34,6 +34,57 @@
 
 namespace vpps {
 
+/**
+ * Per-category recovery counters. Each counter increments once per
+ * recovery action, which pairs it one-to-one with the corresponding
+ * gpusim::FaultLog category: after any run, script_retransmits ==
+ * injected script_ecc, weight_reloads == weight_ecc, relaunches ==
+ * launch_failures, hang_recoveries == hangs, alloc_retries ==
+ * alloc_failures, and loss_retries == loss_ecc (asserted by
+ * fault_recovery_test).
+ */
+struct RecoveryStats
+{
+    /** Script H2D copies repeated after a checksum mismatch. */
+    std::uint64_t script_retransmits = 0;
+
+    /** Cached-weight prologue re-fetches after detected ECC. */
+    std::uint64_t weight_reloads = 0;
+
+    /** Persistent-kernel launch retries. */
+    std::uint64_t relaunches = 0;
+
+    /** Hung-kernel replays (watchdog kill + rollback + rerun). */
+    std::uint64_t hang_recoveries = 0;
+
+    /** Batch workspace allocation retries. */
+    std::uint64_t alloc_retries = 0;
+
+    /** Loss readback re-reads after a corrupted value. */
+    std::uint64_t loss_retries = 0;
+
+    /** Batches abandoned by the NaN/Inf guard (params rolled back). */
+    std::uint64_t skipped_batches = 0;
+
+    /** Parameter-snapshot restores (hang replays + skipped batches). */
+    std::uint64_t rollbacks = 0;
+
+    /** Kernel degradations (rpw switch or GEMM-fallback adoption). */
+    std::uint64_t degradations = 0;
+
+    /** Simulated time spent on wasted attempts, retransmits, and
+     *  backoff, us (a subset of the stats' gpu/transfer time). */
+    double recovery_us = 0.0;
+
+    std::uint64_t
+    totalRecoveries() const
+    {
+        return script_retransmits + weight_reloads + relaunches +
+               hang_recoveries + alloc_retries + loss_retries +
+               skipped_batches;
+    }
+};
+
 /** Accumulated execution statistics, split as in Fig 10. */
 struct VppsStats
 {
@@ -57,6 +108,9 @@ struct VppsStats
     std::uint64_t batches = 0;
     std::uint64_t instructions = 0;
     std::uint64_t nodes = 0;
+
+    /** Fault-recovery actions taken (all zero without an injector). */
+    RecoveryStats recovery;
 
     double cpuUs() const
     {
@@ -88,11 +142,33 @@ class Handle
      * update for the super-graph rooted at @p loss in one kernel
      * invocation.
      *
+     * Equivalent to fbTry() but fatal()s on unrecoverable errors (the
+     * paper's simple three-call API); prefer fbTry() when the caller
+     * can restore from a checkpoint.
+     *
      * @return the loss of the previous batch (stale, Section III-D);
      * for the first batch, 0.
      */
     float fb(graph::Model& model, graph::ComputationGraph& cg,
              graph::Expr loss);
+
+    /**
+     * fb() with recoverable errors. Transient faults (detected script
+     * or weight ECC, failed launches, hung kernels, allocation
+     * failures, corrupted loss readbacks) are retried, rolled back, or
+     * degraded around within the per-batch budgets in VppsOptions;
+     * because every injected fault is a *detected* fault, a batch that
+     * completes through recovery leaves parameters bitwise identical
+     * to a fault-free run. Exhausted budgets and unrecoverable
+     * conditions (malformed scripts, genuine barrier deadlocks) return
+     * a structured error with the device pool restored to its
+     * pre-batch mark; the model's parameters may then reflect the
+     * failed batch only through an explicit caller-side restore
+     * (train::Harness re-loads its last checkpoint).
+     */
+    common::Result<float> fbTry(graph::Model& model,
+                                graph::ComputationGraph& cg,
+                                graph::Expr loss);
 
     /** Wait for the in-flight kernel and return its loss. */
     float sync_get_latest_loss();
@@ -112,6 +188,23 @@ class Handle
     const VppsOptions& options() const { return opts_; }
 
   private:
+    /**
+     * Graceful degradation after an exhausted relaunch budget: stop
+     * the tuner, retire the failing rpw, and switch to an untried
+     * specialization; once every cached-gradient rpw has failed,
+     * JIT the GEMM-fallback kernel (cache_gradients = false -- the
+     * Section III-C2 strategy, which a permanent register-file fault
+     * cannot touch). @return false when already on the fallback
+     * (nothing left to degrade to).
+     */
+    bool degrade(graph::Model& model);
+
+    /** Copy every parameter's master values out of device memory. */
+    void captureParamSnapshot(const graph::Model& model);
+
+    /** Restore the last captured snapshot (rollback). */
+    void restoreParamSnapshot(const graph::Model& model);
+
     gpusim::Device& device_;
     gpusim::HostSpec host_;
     VppsOptions opts_;
@@ -122,6 +215,16 @@ class Handle
     VppsStats stats_;
     double jit_seconds_ = 0.0;
     float pending_loss_ = 0.0f;
+
+    /** @name Degradation state
+     *  @{ */
+    std::vector<int> degraded_rpws_;
+    int forced_rpw_ = 0; //!< > 0 pins kernel() after a degradation
+    std::optional<CompiledKernel> fallback_kernel_;
+    /** @} */
+
+    /** Pre-batch parameter values for rollback, one flat buffer. */
+    std::vector<float> param_snapshot_;
 };
 
 } // namespace vpps

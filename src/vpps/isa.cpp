@@ -129,6 +129,14 @@ Script::emit(int vpp, Opcode op, std::uint32_t imm,
 }
 
 void
+Script::appendRawWord(int vpp, std::uint32_t word)
+{
+    if (sealed_)
+        common::panic("Script::appendRawWord after seal()");
+    streams_.at(static_cast<std::size_t>(vpp)).push_back(word);
+}
+
+void
 Script::setExpectedSignals(std::size_t barrier, int count)
 {
     if (barrier >= expected_signals_.size())
@@ -183,6 +191,23 @@ Script::bytes() const
     if (!sealed_)
         common::panic("Script::bytes before seal()");
     return 4.0 * static_cast<double>(words_.size());
+}
+
+std::uint64_t
+Script::checksum() const
+{
+    if (!sealed_)
+        common::panic("Script::checksum before seal()");
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(num_vpps_));
+    mix(words_.size());
+    for (std::uint32_t w : words_)
+        mix(w);
+    return h;
 }
 
 } // namespace vpps

@@ -99,6 +99,14 @@ class Script
     void emit(int vpp, Opcode op, std::uint32_t imm,
               const std::uint32_t* operands, int n_operands);
 
+    /**
+     * Append one raw word to VPP @p vpp's stream with no validation.
+     * Emulates a corrupted or truncated script (fault-injection and
+     * malformed-script tests): emit() rejects ill-formed instructions,
+     * so broken streams can only be built through this hook.
+     */
+    void appendRawWord(int vpp, std::uint32_t word);
+
     /** Declare barrier @p barrier to expect @p count signals. */
     void setExpectedSignals(std::size_t barrier, int count);
 
@@ -123,6 +131,14 @@ class Script
 
     /** @return total script size in bytes (the H2D transfer size). */
     double bytes() const;
+
+    /**
+     * FNV-1a digest of the sealed buffer. The transfer path verifies
+     * the device-side copy against this host-side value (the detected
+     * ECC / retransmit policy), and the executor keys its decode
+     * cache on it.
+     */
+    std::uint64_t checksum() const;
 
     /** @return total instruction count across all VPPs. */
     std::size_t numInstructions() const { return num_instructions_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <sstream>
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
@@ -73,51 +74,80 @@ ScriptExecutor::ScriptExecutor(gpusim::Device& device, int threads)
 
 ScriptExecutor::~ScriptExecutor() = default;
 
-const DecodedProgram&
+common::Result<const DecodedProgram*>
 ScriptExecutor::decoded(const Script& script)
 {
-    const std::vector<std::uint32_t>& words = script.words();
-    // FNV-1a over the full sealed buffer. Identical batches generate
-    // identical words, so replayed minibatches hit here and skip the
-    // whole decode pass.
-    std::uint64_t h = 1469598103934665603ull;
-    auto mix = [&h](std::uint64_t v) {
-        h ^= v;
-        h *= 1099511628211ull;
-    };
-    mix(static_cast<std::uint64_t>(script.numVpps()));
-    mix(words.size());
-    for (std::uint32_t w : words)
-        mix(w);
+    using common::ErrorCode;
+    using common::Status;
 
+    // Content digest over the full sealed buffer (the same value the
+    // transfer checksum uses). Identical batches generate identical
+    // words, so replayed minibatches hit here and skip the whole
+    // decode-and-validate pass.
+    const std::uint64_t h = script.checksum();
     if (auto it = decode_cache_.find(h); it != decode_cache_.end())
-        return *it->second;
+        return static_cast<const DecodedProgram*>(it->second.get());
 
     if (cached_instructions_ > kMaxCachedInstructions) {
         decode_cache_.clear();
         cached_instructions_ = 0;
     }
 
+    const auto& expected = script.expectedSignals();
+    std::vector<std::uint64_t> emitted(expected.size(), 0);
+
     auto prog = std::make_unique<DecodedProgram>();
     const int num_vpps = script.numVpps();
     prog->num_vpps = num_vpps;
     prog->streams.resize(static_cast<std::size_t>(num_vpps));
     prog->stream_words.resize(static_cast<std::size_t>(num_vpps));
+    prog->signals_per_vpp.resize(static_cast<std::size_t>(num_vpps), 0);
     for (int vpp = 0; vpp < num_vpps; ++vpp) {
         auto [pc, end] = script.vppStream(vpp);
         prog->stream_words[static_cast<std::size_t>(vpp)] =
             static_cast<std::size_t>(end - pc);
         auto& out = prog->streams[static_cast<std::size_t>(vpp)];
         while (pc != end) {
+            const long long idx = static_cast<long long>(out.size());
             DecodedInstr in;
             in.op = preambleOpcode(pc[0]);
             in.imm = preambleImm(pc[0]);
             if (in.op >= Opcode::NumOpcodes)
-                common::panic("ScriptExecutor: bad opcode in stream");
+                return Status::failure(
+                           ErrorCode::MalformedScript,
+                           common::detail::concat(
+                               "bad opcode ",
+                               static_cast<int>(in.op),
+                               " in script stream"))
+                    .withVpp(vpp)
+                    .withPc(idx);
             const int n = operandWords(in.op);
             if (pc + 1 + n > end)
-                common::panic(
-                    "ScriptExecutor: truncated instruction in stream");
+                return Status::failure(
+                           ErrorCode::MalformedScript,
+                           common::detail::concat(
+                               "truncated instruction stream: ",
+                               opcodeName(in.op), " needs ", n,
+                               " operand words"))
+                    .withVpp(vpp)
+                    .withPc(idx);
+            if (in.op == Opcode::Signal || in.op == Opcode::Wait) {
+                if (in.imm >= expected.size())
+                    return Status::failure(
+                               ErrorCode::MalformedScript,
+                               common::detail::concat(
+                                   "barrier index out of range (",
+                                   expected.size(),
+                                   " barriers declared)"))
+                        .withVpp(vpp)
+                        .withPc(idx)
+                        .withBarrier(in.imm);
+                if (in.op == Opcode::Signal) {
+                    ++emitted[in.imm];
+                    ++prog->signals_per_vpp[
+                        static_cast<std::size_t>(vpp)];
+                }
+            }
             for (int i = 0; i < n; ++i)
                 in.operands[i] = pc[1 + i];
             out.push_back(in);
@@ -125,25 +155,49 @@ ScriptExecutor::decoded(const Script& script)
         }
         prog->total_instructions += out.size();
     }
+
+    // Whole-script barrier consistency: each barrier must receive
+    // exactly the declared number of signals. Fewer would deadlock a
+    // waiter; more would over-trip the device-side atomic counter.
+    for (std::size_t b = 0; b < expected.size(); ++b)
+        if (emitted[b] != expected[b])
+            return Status::failure(
+                       ErrorCode::MalformedScript,
+                       common::detail::concat(
+                           "barrier ", b, " expects ", expected[b],
+                           " signal(s) but the script emits ",
+                           emitted[b]))
+                .withBarrier(static_cast<long long>(b));
+
     cached_instructions_ += prog->total_instructions;
     auto& slot = decode_cache_[h];
     slot = std::move(prog);
-    return *slot;
+    return static_cast<const DecodedProgram*>(slot.get());
 }
 
-RunResult
+common::Result<RunResult>
 ScriptExecutor::run(const CompiledKernel& kernel,
                     const GeneratedBatch& batch, graph::Model& model,
                     graph::ComputationGraph& cg)
 {
+    using common::ErrorCode;
+    using common::Status;
+
     const DistributionPlan& plan = kernel.plan;
     const auto& spec = device_.spec();
     const int num_vpps = plan.numVpps();
     auto& mem = device_.memory();
     const Script& script = batch.script;
-    const DecodedProgram& prog = decoded(script);
+    auto dec = decoded(script);
+    if (!dec.ok())
+        return dec.takeStatus();
+    const DecodedProgram& prog = *dec.value();
     if (prog.num_vpps != num_vpps)
-        common::panic("ScriptExecutor: script/plan VPP count mismatch");
+        return Status::failure(
+            ErrorCode::MalformedScript,
+            common::detail::concat("script has ", prog.num_vpps,
+                                   " VPP streams but the plan runs ",
+                                   num_vpps, " VPPs"));
 
     gpusim::PersistentSim psim(spec, num_vpps, plan.ctasPerSm());
     for (std::size_t b = 0; b < script.expectedSignals().size(); ++b)
@@ -160,7 +214,7 @@ ScriptExecutor::run(const CompiledKernel& kernel,
     const double shared_budget =
         static_cast<double>(spec.shared_bytes_per_sm) /
         plan.ctasPerSm();
-    for (int vpp = 0; vpp < num_vpps; ++vpp) {
+    auto chargePrologue = [&](int vpp) {
         const double script_bytes =
             4.0 * static_cast<double>(
                       prog.stream_words[static_cast<std::size_t>(vpp)]);
@@ -173,6 +227,33 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         psim.chargeInstruction(vpp, prologue);
         device_.addLoad(MemSpace::Script, script_bytes);
         device_.addLoad(MemSpace::Weights, weight_bytes);
+    };
+    for (int vpp = 0; vpp < num_vpps; ++vpp)
+        chargePrologue(vpp);
+
+    // Injected DRAM ECC error on one VPP's cached-weight load: the
+    // error is *detected* (SECDED reports it), so the VPP simply
+    // re-fetches its rows from the DRAM master copy -- a second
+    // prologue charge and no functional damage.
+    if (gpusim::FaultInjector* inj = device_.faults()) {
+        if (auto bad = inj->corruptWeightLoad(num_vpps)) {
+            chargePrologue(*bad);
+            ++result.weight_reloads;
+        }
+    }
+
+    // Injected hang: one VPP (drawn among those that signal at all)
+    // permanently stops at its next Signal, which is therefore lost.
+    // The schedule downstream of that barrier starves and the stall
+    // diagnosis below reports it as a recoverable HungVpp error.
+    int hung_vpp = -1;
+    if (gpusim::FaultInjector* inj = device_.faults()) {
+        std::vector<int> eligible;
+        for (int vpp = 0; vpp < num_vpps; ++vpp)
+            if (prog.signals_per_vpp[static_cast<std::size_t>(vpp)] > 0)
+                eligible.push_back(vpp);
+        if (auto hang = inj->drawHang(eligible))
+            hung_vpp = *hang;
     }
 
     const bool func = device_.functional();
@@ -527,11 +608,48 @@ ScriptExecutor::run(const CompiledKernel& kernel,
     };
     std::vector<Segment> segments;
 
+    // On any stalled or aborted schedule the partial execution still
+    // happened on the device: merge the sinks' traffic and charge the
+    // elapsed makespan, so the wasted attempt shows up in simulated
+    // recovery overhead exactly like a real launch-and-kill would.
+    auto fail = [&](Status st) -> common::Result<RunResult> {
+        for (const VppSink& sink : sinks)
+            device_.traffic().merge(sink.traffic);
+        KernelCost launch_only;
+        launch_only.latency_hops = 0.0;
+        device_.launchKernel(launch_only);
+        device_.chargeTime(psim.makespan());
+        return st;
+    };
+
+    // Bound every loop: a valid schedule consumes at least one
+    // instruction per round and one sync op per fixpoint pass, so
+    // exceeding these caps means the scheduler itself stopped making
+    // progress -- report it instead of spinning forever.
+    const std::size_t round_cap = prog.total_instructions + 2;
+    std::size_t rounds = 0;
+    bool hang_triggered = false;
+
     for (;;) {
+        if (++rounds > round_cap)
+            return fail(Status::failure(
+                ErrorCode::BarrierDeadlock,
+                common::detail::concat(
+                    "scheduler exceeded ", round_cap,
+                    " rounds without completing")));
+
         // 1. Barrier traffic to a fixed point (a signal by a
         // higher-numbered VPP can unblock a lower-numbered one).
+        const std::size_t pass_cap =
+            prog.total_instructions +
+            static_cast<std::size_t>(num_vpps) + 2;
+        std::size_t passes = 0;
         bool sync_progress = true;
         while (sync_progress) {
+            if (++passes > pass_cap)
+                return fail(Status::failure(
+                    ErrorCode::BarrierDeadlock,
+                    "barrier fixpoint failed to converge"));
             sync_progress = false;
             for (int vpp = 0; vpp < num_vpps; ++vpp) {
                 const auto& stream =
@@ -541,6 +659,13 @@ ScriptExecutor::run(const CompiledKernel& kernel,
                 while (pc < stream.size()) {
                     const DecodedInstr& in = stream[pc];
                     if (in.op == Opcode::Signal) {
+                        if (vpp == hung_vpp) {
+                            // The injected hang: the CTA died before
+                            // the atomicAdd, so the signal is lost
+                            // and this VPP makes no further progress.
+                            hang_triggered = true;
+                            break;
+                        }
                         psim.signal(in.imm, vpp);
                     } else if (in.op == Opcode::Wait &&
                                psim.barrierReady(in.imm)) {
@@ -568,6 +693,8 @@ ScriptExecutor::run(const CompiledKernel& kernel,
             all_done = false;
             if (stream[pc].op == Opcode::Wait)
                 continue; // blocked on an unready barrier
+            if (vpp == hung_vpp && stream[pc].op == Opcode::Signal)
+                continue; // hung at its lost signal; never resumes
             std::size_t end = pc;
             while (end < stream.size() &&
                    stream[end].op != Opcode::Signal &&
@@ -580,7 +707,50 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         if (segments.empty()) {
             if (all_done)
                 break;
-            common::panic("ScriptExecutor: barrier deadlock");
+            // Stall: no VPP can run and at least one has not
+            // finished. Diagnose which VPPs are stuck on which
+            // barriers (the watchdog's report), then surface a
+            // recoverable error instead of the old undiagnosed
+            // "barrier deadlock" panic.
+            std::ostringstream why;
+            int stuck = 0, first_vpp = -1;
+            long long first_pc = -1, first_barrier = -1;
+            for (int vpp = 0; vpp < num_vpps; ++vpp) {
+                const auto& stream =
+                    prog.streams[static_cast<std::size_t>(vpp)];
+                const std::size_t pc =
+                    cursor[static_cast<std::size_t>(vpp)];
+                if (pc >= stream.size())
+                    continue;
+                const std::uint32_t b = stream[pc].imm;
+                if (stuck == 0) {
+                    first_vpp = hang_triggered ? hung_vpp : vpp;
+                    first_pc = static_cast<long long>(pc);
+                    first_barrier = b;
+                }
+                if (++stuck <= 6) {
+                    why << (stuck == 1 ? "" : "; ") << "vpp " << vpp
+                        << (vpp == hung_vpp ? " (hung)" : "")
+                        << " at pc " << pc << " on barrier " << b
+                        << " (" << psim.arrivedAt(b) << "/"
+                        << psim.expectedAt(b) << " signals)";
+                }
+            }
+            if (stuck > 6)
+                why << "; ... " << (stuck - 6) << " more";
+            const ErrorCode code = hang_triggered
+                                       ? ErrorCode::HungVpp
+                                       : ErrorCode::BarrierDeadlock;
+            return fail(
+                Status::failure(
+                    code, common::detail::concat(
+                              hang_triggered
+                                  ? "VPP hung (lost signal); "
+                                  : "barrier deadlock; ",
+                              stuck, " VPP(s) stuck: ", why.str()))
+                    .withVpp(first_vpp)
+                    .withPc(first_pc)
+                    .withBarrier(first_barrier));
         }
 
         // 3. Execute the round's segments, concurrently when the

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/persistent_sim.hpp"
 #include "graph/expr.hpp"
@@ -64,6 +65,10 @@ struct RunResult
 
     /** Instructions interpreted across all VPPs. */
     std::uint64_t instructions = 0;
+
+    /** Cached-weight prologue reloads after detected ECC errors
+     *  (fault injection only; always 0 without an injector). */
+    std::uint64_t weight_reloads = 0;
 };
 
 /**
@@ -91,6 +96,9 @@ struct DecodedProgram
     std::vector<std::vector<DecodedInstr>> streams;
     /** Per-VPP raw stream size in words (prologue fetch modeling). */
     std::vector<std::size_t> stream_words;
+    /** Per-VPP count of Signal instructions (hang-injection
+     *  eligibility: a hang is modeled as a lost signal). */
+    std::vector<std::uint32_t> signals_per_vpp;
     /** Total decoded instructions (cache budget accounting). */
     std::size_t total_instructions = 0;
 };
@@ -117,15 +125,26 @@ class ScriptExecutor
      * init), interpretation loop, epilogue (gradient application), and
      * -- for the uncached-gradient strategy -- the staged GEMMs and
      * dense matrix updates as separate kernel launches.
+     *
+     * Malformed scripts (bad opcodes, truncated streams, out-of-range
+     * barriers, Signal/Wait count mismatches) and stalled schedules
+     * (injected hangs, barrier deadlocks) return a structured error
+     * instead of aborting; the diagnostics name the VPP, pc, and
+     * barrier involved. On a stalled schedule the partial execution's
+     * traffic and device time are still accounted (that work was
+     * wasted on the real GPU too).
      */
-    RunResult run(const CompiledKernel& kernel,
-                  const GeneratedBatch& batch, graph::Model& model,
-                  graph::ComputationGraph& cg);
+    common::Result<RunResult> run(const CompiledKernel& kernel,
+                                  const GeneratedBatch& batch,
+                                  graph::Model& model,
+                                  graph::ComputationGraph& cg);
 
   private:
-    /** Decode @p script, or return the cached decoding of an
-     *  identical earlier script. */
-    const DecodedProgram& decoded(const Script& script);
+    /** Decode and statically validate @p script, or return the cached
+     *  decoding of an identical earlier script. Invalid scripts are
+     *  never cached. */
+    common::Result<const DecodedProgram*>
+    decoded(const Script& script);
 
     gpusim::Device& device_;
     int threads_;

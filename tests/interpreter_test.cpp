@@ -61,13 +61,19 @@ struct InterpRig
         return device.memory().data(off);
     }
 
-    vpps::RunResult
-    run(vpps::GeneratedBatch& batch)
+    common::Result<vpps::RunResult>
+    tryRun(vpps::GeneratedBatch& batch)
     {
         batch.loss_node = loss_node;
         batch.script.seal();
         vpps::ScriptExecutor executor(device);
         return executor.run(kernel, batch, model, cg);
+    }
+
+    vpps::RunResult
+    run(vpps::GeneratedBatch& batch)
+    {
+        return tryRun(batch).value();
     }
 
     vpps::GeneratedBatch
@@ -245,13 +251,24 @@ TEST(Interpreter, PickNlsRoundTrip)
     EXPECT_NEAR(rig.at(loss)[0], -std::log(rig.at(probs)[1]), 1e-5);
 }
 
-TEST(Interpreter, UnreadyWaitDeadlockPanics)
+TEST(Interpreter, UnreadyWaitIsAStructuredErrorNotAHang)
 {
+    // A Wait on a barrier that can never be satisfied (the script
+    // emits zero of the two declared signals) used to panic the
+    // process; decode-time validation now rejects it with full
+    // diagnostics and the interpreter never runs.
     InterpRig rig;
     auto batch = rig.fresh();
     batch.script.emit(0, vpps::Opcode::Wait, 0, {});
     batch.script.setExpectedSignals(0, 2); // never satisfied
-    EXPECT_DEATH(rig.run(batch), "deadlock");
+    const auto result = rig.tryRun(batch);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              common::ErrorCode::MalformedScript);
+    EXPECT_EQ(result.error().barrier, 0);
+    EXPECT_NE(result.error().message.find("expects 2 signal"),
+              std::string::npos)
+        << result.error().toString();
 }
 
 TEST(Interpreter, InstructionCountAndTimingAreReported)

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Malformed and adversarial scripts must surface clean structured
+ * errors -- never a hang, never an abort. Covers static decode
+ * validation (bad opcodes, truncated streams, out-of-range barriers,
+ * Signal/Wait count mismatches) and runtime stall diagnosis (a
+ * statically-consistent script whose barrier order deadlocks), at
+ * both serial and 8-thread host interpretation.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "vpps/script_exec.hpp"
+
+namespace {
+
+using common::ErrorCode;
+
+/** A tiny model + compiled kernel to run hand-built scripts against. */
+struct MalformedRig
+{
+    gpusim::Device device{gpusim::DeviceSpec{}, 4u << 20};
+    graph::Model model;
+    vpps::CompiledKernel kernel;
+    graph::ComputationGraph cg;
+    graph::NodeId loss_node;
+
+    MalformedRig()
+    {
+        model.addWeightMatrix("W", 8, 4);
+        common::Rng rng(111);
+        model.allocate(device, rng);
+        vpps::VppsOptions opts;
+        auto plan = vpps::DistributionPlan::buildAuto(
+            model, device.spec(), opts, 2);
+        const vpps::KernelSpecializer specializer(device.spec());
+        kernel = specializer.specialize(model, plan);
+        loss_node = cg.addInput({0.0f});
+        cg.node(loss_node).fwd =
+            device.memory().allocate(1, gpusim::MemSpace::Activations);
+    }
+
+    common::Result<vpps::RunResult>
+    run(vpps::GeneratedBatch& batch, int threads)
+    {
+        batch.loss_node = loss_node;
+        batch.script.seal();
+        vpps::ScriptExecutor executor(device, threads);
+        return executor.run(kernel, batch, model, cg);
+    }
+
+    vpps::GeneratedBatch
+    fresh()
+    {
+        return vpps::GeneratedBatch(kernel.plan.numVpps());
+    }
+};
+
+class MalformedScriptTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(MalformedScriptTest, SignalCountMismatchIsRejectedAtDecode)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // Barrier 0 declares 2 signals but the script emits only 1.
+    batch.script.emit(0, vpps::Opcode::Signal, 0, {});
+    batch.script.emit(1, vpps::Opcode::Wait, 0, {});
+    batch.script.setExpectedSignals(0, 2);
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().barrier, 0);
+    EXPECT_NE(r.error().message.find("expects 2 signal"),
+              std::string::npos)
+        << r.error().toString();
+}
+
+TEST_P(MalformedScriptTest, OverSignaledBarrierIsRejectedAtDecode)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // Two signals for a barrier that declares one: on the device the
+    // second atomicAdd would over-trip the counter.
+    batch.script.emit(0, vpps::Opcode::Signal, 0, {});
+    batch.script.emit(1, vpps::Opcode::Signal, 0, {});
+    batch.script.emit(2, vpps::Opcode::Wait, 0, {});
+    batch.script.setExpectedSignals(0, 1);
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().barrier, 0);
+}
+
+TEST_P(MalformedScriptTest, TruncatedStreamIsRejectedWithLocation)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // A Copy preamble promising 2 operand words, with only 1 present
+    // (a truncated H2D transfer / corrupted length field).
+    batch.script.appendRawWord(
+        2, vpps::packPreamble(vpps::Opcode::Copy, 4));
+    batch.script.appendRawWord(2, 123);
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().vpp, 2);
+    EXPECT_EQ(r.error().pc, 0);
+    EXPECT_NE(r.error().message.find("truncated"), std::string::npos)
+        << r.error().toString();
+}
+
+TEST_P(MalformedScriptTest, InvalidOpcodeIsRejectedWithLocation)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    batch.script.emit(1, vpps::Opcode::Nop, 0, {});
+    batch.script.appendRawWord(
+        1, vpps::packPreamble(static_cast<vpps::Opcode>(0xEE), 0));
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().vpp, 1);
+    EXPECT_EQ(r.error().pc, 1);
+    EXPECT_NE(r.error().message.find("bad opcode"), std::string::npos)
+        << r.error().toString();
+}
+
+TEST_P(MalformedScriptTest, OutOfRangeBarrierIsRejected)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // Barrier 5 was never declared via setExpectedSignals: on the
+    // device the barrier-count table read would be out of bounds.
+    batch.script.emit(0, vpps::Opcode::Signal, 5, {});
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().vpp, 0);
+    EXPECT_EQ(r.error().barrier, 5);
+    EXPECT_NE(r.error().message.find("out of range"),
+              std::string::npos)
+        << r.error().toString();
+}
+
+TEST_P(MalformedScriptTest, RuntimeDeadlockIsDiagnosedNotHung)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // Statically consistent (every barrier receives its declared
+    // signal count) but the order deadlocks: each VPP waits for the
+    // signal the other can only emit after its own wait.
+    batch.script.emit(0, vpps::Opcode::Wait, 0, {});
+    batch.script.emit(0, vpps::Opcode::Signal, 1, {});
+    batch.script.emit(1, vpps::Opcode::Wait, 1, {});
+    batch.script.emit(1, vpps::Opcode::Signal, 0, {});
+    batch.script.setExpectedSignals(0, 1);
+    batch.script.setExpectedSignals(1, 1);
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::BarrierDeadlock);
+    // The diagnosis names the stuck VPPs and their barriers.
+    EXPECT_NE(r.error().message.find("vpp 0"), std::string::npos)
+        << r.error().toString();
+    EXPECT_NE(r.error().message.find("vpp 1"), std::string::npos)
+        << r.error().toString();
+    EXPECT_NE(r.error().message.find("0/1 signals"),
+              std::string::npos)
+        << r.error().toString();
+    EXPECT_EQ(r.error().vpp, 0);
+    EXPECT_EQ(r.error().barrier, 0);
+}
+
+TEST_P(MalformedScriptTest, ValidScriptStillRunsAfterRejections)
+{
+    // Rejected scripts must not poison the executor's decode cache or
+    // the device: a well-formed script on the same executor succeeds.
+    MalformedRig rig;
+    vpps::ScriptExecutor executor(rig.device, GetParam());
+
+    auto bad = rig.fresh();
+    bad.script.emit(0, vpps::Opcode::Signal, 9, {});
+    bad.loss_node = rig.loss_node;
+    bad.script.seal();
+    ASSERT_FALSE(
+        executor.run(rig.kernel, bad, rig.model, rig.cg).ok());
+
+    auto good = rig.fresh();
+    const auto src = rig.device.memory().allocate(
+        4, gpusim::MemSpace::Activations);
+    const auto dst = rig.device.memory().allocate(
+        4, gpusim::MemSpace::Activations);
+    rig.device.memory().data(src)[0] = 5.0f;
+    good.script.emit(0, vpps::Opcode::Copy, 4, {dst, src});
+    good.loss_node = rig.loss_node;
+    good.script.seal();
+    const auto r = executor.run(rig.kernel, good, rig.model, rig.cg);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_FLOAT_EQ(rig.device.memory().data(dst)[0], 5.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, MalformedScriptTest,
+                         testing::Values(1, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                             return "threads" +
+                                    std::to_string(info.param);
+                         });
+
+} // namespace

@@ -189,7 +189,8 @@ TEST(ScriptExec, InterpretsToCompletionWithoutDeadlock)
     auto gb = rig.generate();
     vpps::ScriptExecutor executor(rig.device);
     const auto result = executor.run(rig.kernel, gb,
-                                     rig.model.model(), rig.cg);
+                                     rig.model.model(), rig.cg)
+                            .value();
     EXPECT_GT(result.instructions, 0u);
     EXPECT_GT(result.kernel_us, 0.0);
     EXPECT_GE(result.makespan_us, result.mean_vpp_us);
@@ -202,7 +203,8 @@ TEST(ScriptExec, WeightTrafficEqualsCachedBytesPerInvocation)
     auto gb = rig.generate();
     rig.device.traffic().reset();
     vpps::ScriptExecutor executor(rig.device);
-    executor.run(rig.kernel, gb, rig.model.model(), rig.cg);
+    ASSERT_TRUE(
+        executor.run(rig.kernel, gb, rig.model.model(), rig.cg).ok());
     const double loads = rig.device.traffic().loadBytes(
         gpusim::MemSpace::Weights);
     EXPECT_DOUBLE_EQ(loads,
@@ -273,7 +275,7 @@ TEST(ScriptGen, WideAddNLegalizesToChain)
 
     // And the math comes out right: 1+2+3+4+5 = 15 per element.
     vpps::ScriptExecutor executor(device);
-    executor.run(kernel, gb, model, cg);
+    ASSERT_TRUE(executor.run(kernel, gb, model, cg).ok());
     EXPECT_FLOAT_EQ(device.memory().data(cg.node(sum.id).fwd)[3],
                     15.0f);
 }

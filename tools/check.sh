@@ -4,6 +4,13 @@
 # threads forced via the environment. Any data race in the phase
 # scheduler, the worker pool, or the per-VPP accounting shows up here.
 #
+# A second pass soaks the recovery machinery: the same TSan build runs
+# the fault-, interpreter-, and equivalence-focused tests with the
+# environment fault injector armed (DESIGN.md section 4.6), so every
+# retransmit/relaunch/rollback path executes under the race detector.
+# The soak is scoped to tests that tolerate perturbed timing; suites
+# that assert exact DRAM-traffic or timing budgets stay fault-free.
+#
 # Usage: tools/check.sh [build-dir]   (default: build-tsan)
 set -eu
 
@@ -15,3 +22,8 @@ cmake -B "$BUILD_DIR" -S . -DVPPS_TSAN=ON \
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 VPPS_HOST_THREADS=8 ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== fault-injection soak (VPPS_FAULT_RATE=0.02, seed 7) =="
+VPPS_HOST_THREADS=8 VPPS_FAULT_SEED=7 VPPS_FAULT_RATE=0.02 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure \
+          -R 'FaultRecovery|MalformedScript|Interpreter\.|Equivalence'
