@@ -20,6 +20,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::MalformedScript: return "malformed_script";
       case ErrorCode::NumericalFault: return "numerical_fault";
       case ErrorCode::RetryExhausted: return "retry_exhausted";
+      case ErrorCode::InvalidArgument: return "invalid_argument";
     }
     return "unknown";
 }

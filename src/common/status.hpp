@@ -34,6 +34,7 @@ enum class ErrorCode : std::uint8_t
     MalformedScript, //!< script failed static validation
     NumericalFault,  //!< non-finite loss / corrupted readback
     RetryExhausted,  //!< a recovery budget was spent without success
+    InvalidArgument, //!< a request or configuration failed validation
 };
 
 /** @return a short stable name for an error category. */

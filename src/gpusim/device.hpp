@@ -66,6 +66,23 @@ class Device
     /** Total accumulated GPU busy time in microseconds. */
     double busyUs() const { return busy_us_; }
 
+    /**
+     * Monotonic simulated wall clock, us. Independent of the busy
+     * accumulator: the serving layer advances it to track request
+     * arrival and deadline instants, including idle gaps between
+     * batches that never charge busy time. Not touched by
+     * resetStats().
+     */
+    double clockUs() const { return clock_us_; }
+
+    /** Advance the wall clock to @p us (ignored if in the past). */
+    void
+    advanceClockTo(double us)
+    {
+        if (us > clock_us_)
+            clock_us_ = us;
+    }
+
     /** Number of kernel launches so far. */
     std::uint64_t numLaunches() const { return launches_; }
 
@@ -109,6 +126,7 @@ class Device
     DeviceMemory memory_;
     TrafficStats traffic_;
     double busy_us_ = 0.0;
+    double clock_us_ = 0.0;
     std::uint64_t launches_ = 0;
     bool functional_ = true;
     std::unique_ptr<FaultInjector> faults_;

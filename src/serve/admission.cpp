@@ -1,0 +1,22 @@
+/** @file Brown-out level names. */
+#include "serve/admission.hpp"
+
+namespace serve {
+
+const char*
+brownoutLevelName(BrownoutLevel level)
+{
+    switch (level) {
+    case BrownoutLevel::Normal:
+        return "normal";
+    case BrownoutLevel::ShrunkWindow:
+        return "shrunk_window";
+    case BrownoutLevel::ShedLowClass:
+        return "shed_low_class";
+    case BrownoutLevel::RejectAll:
+        return "reject_all";
+    }
+    return "?";
+}
+
+} // namespace serve

@@ -1,0 +1,74 @@
+/** @file Dynamic batch formation. */
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+namespace serve {
+
+void
+Batcher::enqueue(Queued q)
+{
+    (q.req.cls == RequestClass::High ? high_ : low_)
+        .push_back(std::move(q));
+}
+
+void
+Batcher::enqueueFront(Queued q)
+{
+    (q.req.cls == RequestClass::High ? high_ : low_)
+        .push_front(std::move(q));
+}
+
+double
+Batcher::readyAt(BrownoutLevel level, double not_before_us) const
+{
+    if (empty())
+        return -1.0;
+    if (depth() >= policy_.max_batch)
+        return not_before_us; // full batch: dispatch immediately
+    double oldest = 1e300;
+    if (!high_.empty())
+        oldest = std::min(oldest, high_.front().enqueue_us);
+    if (!low_.empty())
+        oldest = std::min(oldest, low_.front().enqueue_us);
+    return std::max(oldest + windowUs(level), not_before_us);
+}
+
+std::vector<Queued>
+Batcher::form(double /*now_us*/)
+{
+    std::vector<Queued> batch;
+    batch.reserve(policy_.max_batch);
+    while (batch.size() < policy_.max_batch && !high_.empty()) {
+        batch.push_back(std::move(high_.front()));
+        high_.pop_front();
+    }
+    while (batch.size() < policy_.max_batch && !low_.empty()) {
+        batch.push_back(std::move(low_.front()));
+        low_.pop_front();
+    }
+    return batch;
+}
+
+std::vector<Queued>
+Batcher::expire(double now_us)
+{
+    std::vector<Queued> dead;
+    for (auto* q : {&high_, &low_}) {
+        for (auto it = q->begin(); it != q->end();) {
+            if (it->req.deadline_us <= now_us) {
+                dead.push_back(std::move(*it));
+                it = q->erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    std::sort(dead.begin(), dead.end(),
+              [](const Queued& a, const Queued& b) {
+                  return a.req.id < b.req.id;
+              });
+    return dead;
+}
+
+} // namespace serve

@@ -1,0 +1,81 @@
+/** @file Circuit breaker state machine. */
+#include "serve/circuit_breaker.hpp"
+
+namespace serve {
+
+bool
+CircuitBreaker::usePrimary(double now_us)
+{
+    switch (state_) {
+    case State::Closed:
+        return true;
+    case State::Open:
+        if (now_us - opened_at_us_ >= cfg_.cooldown_us) {
+            state_ = State::HalfOpen;
+            probe_successes_ = 0;
+            ++probes_;
+            return true;
+        }
+        return false;
+    case State::HalfOpen:
+        ++probes_;
+        return true;
+    }
+    return true; // unreachable
+}
+
+void
+CircuitBreaker::onPrimarySuccess()
+{
+    switch (state_) {
+    case State::Closed:
+        consecutive_failures_ = 0;
+        return;
+    case State::HalfOpen:
+        if (++probe_successes_ >= cfg_.close_successes) {
+            state_ = State::Closed;
+            consecutive_failures_ = 0;
+            ++closes_;
+        }
+        return;
+    case State::Open:
+        return; // fallback successes never close the breaker
+    }
+}
+
+void
+CircuitBreaker::onPrimaryFailure(double now_us)
+{
+    switch (state_) {
+    case State::Closed:
+        if (++consecutive_failures_ >= cfg_.failure_threshold) {
+            state_ = State::Open;
+            opened_at_us_ = now_us;
+            ++trips_;
+        }
+        return;
+    case State::HalfOpen:
+        state_ = State::Open;
+        opened_at_us_ = now_us;
+        ++reopens_;
+        return;
+    case State::Open:
+        return;
+    }
+}
+
+const char*
+breakerStateName(CircuitBreaker::State s)
+{
+    switch (s) {
+    case CircuitBreaker::State::Closed:
+        return "closed";
+    case CircuitBreaker::State::Open:
+        return "open";
+    case CircuitBreaker::State::HalfOpen:
+        return "half_open";
+    }
+    return "?";
+}
+
+} // namespace serve

@@ -11,7 +11,7 @@ buildSuperGraph(models::BenchmarkModel& bm, graph::ComputationGraph& cg,
                 std::size_t start, std::size_t batch)
 {
     if (batch == 0)
-        common::fatal("buildSuperGraph: batch size must be positive");
+        common::panic("buildSuperGraph: batch size must be positive");
     std::vector<graph::Expr> losses;
     losses.reserve(batch);
     const std::size_t n = bm.datasetSize();
@@ -93,21 +93,30 @@ captureCheckpoint(const graph::Model& model,
     return ckpt;
 }
 
-void
+common::Status
 restoreCheckpoint(const TrainCheckpoint& ckpt, graph::Model& model,
                   gpusim::Device& device)
 {
+    // Validate before mutating anything: a size mismatch means the
+    // checkpoint was captured from a different model, and a partial
+    // restore would corrupt the parameters it was meant to protect.
+    std::size_t needed = 0;
+    for (graph::ParamId id = 0; id < model.numParams(); ++id)
+        needed += model.param(id).shape.size();
+    if (needed > ckpt.params.size())
+        return common::Status::failure(
+            common::ErrorCode::InvalidArgument,
+            common::detail::concat(
+                "checkpoint holds ", ckpt.params.size(),
+                " floats but the model needs ", needed,
+                "; was it captured from a different model?"));
+
     model.learning_rate = ckpt.learning_rate;
     model.weight_decay = ckpt.weight_decay;
     auto& mem = device.memory();
     std::size_t pos = 0;
     for (graph::ParamId id = 0; id < model.numParams(); ++id) {
         const auto& p = model.param(id);
-        if (pos + p.shape.size() > ckpt.params.size())
-            common::fatal("restoreCheckpoint: checkpoint holds ",
-                          ckpt.params.size(),
-                          " floats but the model needs more; was it "
-                          "captured from a different model?");
         std::copy(ckpt.params.begin() +
                       static_cast<std::ptrdiff_t>(pos),
                   ckpt.params.begin() +
@@ -115,6 +124,7 @@ restoreCheckpoint(const TrainCheckpoint& ckpt, graph::Model& model,
                   mem.data(p.value));
         pos += p.shape.size();
     }
+    return common::Status();
 }
 
 RecoveryReport
@@ -158,7 +168,14 @@ measureVppsRecoverable(vpps::Handle& handle, gpusim::Device& device,
             ++rep.restores;
             rep.replayed_batches +=
                 (trained - ckpt.next_input) / batch_size;
-            restoreCheckpoint(ckpt, model, device);
+            if (auto st = restoreCheckpoint(ckpt, model, device);
+                !st.ok()) {
+                // Cannot happen for checkpoints captured in this
+                // loop, but a caller-supplied mismatched checkpoint
+                // must not abort training.
+                rep.last_error = st.toString();
+                break;
+            }
             trained = ckpt.next_input;
             batches_since_ckpt = 0;
             continue;

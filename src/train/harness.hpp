@@ -85,9 +85,14 @@ TrainCheckpoint captureCheckpoint(const graph::Model& model,
                                   const gpusim::Device& device,
                                   std::size_t next_input);
 
-/** Write a checkpoint's state back into the model and device. */
-void restoreCheckpoint(const TrainCheckpoint& ckpt,
-                       graph::Model& model, gpusim::Device& device);
+/**
+ * Write a checkpoint's state back into the model and device.
+ * @return an error (with the model untouched) when the checkpoint
+ * does not hold enough floats for this model.
+ */
+common::Status restoreCheckpoint(const TrainCheckpoint& ckpt,
+                                 graph::Model& model,
+                                 gpusim::Device& device);
 
 /** Knobs for measureVppsRecoverable(). */
 struct RecoveryOptions

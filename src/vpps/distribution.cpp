@@ -32,7 +32,7 @@ DistributionPlan::tryBuild(const graph::Model& model,
 {
     const auto matrices = model.weightMatrices();
     if (matrices.empty())
-        common::fatal("DistributionPlan: model has no weight matrices");
+        return std::nullopt; // nothing to cache: no valid plan
     if (rpw < 1)
         common::panic("DistributionPlan: rpw must be >= 1");
 
@@ -132,10 +132,10 @@ DistributionPlan::tryBuild(const graph::Model& model,
     return plan;
 }
 
-DistributionPlan
-DistributionPlan::buildAuto(const graph::Model& model,
-                            const gpusim::DeviceSpec& spec,
-                            const VppsOptions& opts, int rpw)
+common::Result<DistributionPlan>
+DistributionPlan::tryBuildAuto(const graph::Model& model,
+                               const gpusim::DeviceSpec& spec,
+                               const VppsOptions& opts, int rpw)
 {
     struct Attempt
     {
@@ -151,13 +151,32 @@ DistributionPlan::buildAuto(const graph::Model& model,
             continue;
         auto plan = tryBuild(model, spec, opts, rpw, a.ctas, a.grads);
         if (plan)
-            return *plan;
+            return std::move(*plan);
     }
-    common::fatal("VPPS: weight matrices do not fit in the register "
-                  "file even with one CTA per SM and uncached "
-                  "gradients (",
-                  model.totalWeightMatrixBytes() / (1024.0 * 1024.0),
-                  " MB of weights)");
+    if (model.weightMatrices().empty())
+        return common::Status::failure(
+            common::ErrorCode::InvalidArgument,
+            "model has no weight matrices to cache");
+    return common::Status::failure(
+        common::ErrorCode::OutOfMemory,
+        common::detail::concat(
+            "weight matrices do not fit in the register file even "
+            "with one CTA per SM and uncached gradients (",
+            model.totalWeightMatrixBytes() / (1024.0 * 1024.0),
+            " MB of weights, rpw ", rpw, ")"));
+}
+
+DistributionPlan
+DistributionPlan::buildAuto(const graph::Model& model,
+                            const gpusim::DeviceSpec& spec,
+                            const VppsOptions& opts, int rpw)
+{
+    auto plan = tryBuildAuto(model, spec, opts, rpw);
+    if (!plan.ok())
+        common::panic("DistributionPlan::buildAuto: ",
+                      plan.status().toString(),
+                      " (use tryBuildAuto for untrusted models)");
+    return std::move(plan).value();
 }
 
 int

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "gpusim/device_spec.hpp"
 #include "graph/model.hpp"
 
@@ -106,6 +107,15 @@ struct VppsOptions
     bool nan_guard = true;
 
     /**
+     * Degrade the specialization (next untried rpw, then the GEMM
+     * fallback) when the relaunch budget is exhausted. The serving
+     * layer turns this off: its circuit breaker owns the
+     * primary-vs-fallback routing decision, so fbTry() should surface
+     * a LaunchFailure instead of silently switching kernels.
+     */
+    bool degrade_on_failure = true;
+
+    /**
      * >= 0 installs a uniform-rate FaultInjector on the device at
      * handle construction (unless one is already installed); < 0
      * defers to VPPS_FAULT_RATE / VPPS_FAULT_SEED (tools/check.sh's
@@ -147,8 +157,9 @@ class DistributionPlan
   public:
     /**
      * Attempt to build a plan with explicit knobs.
-     * @return std::nullopt if the matrices (plus gradients when
-     * requested) do not fit in the register budget.
+     * @return std::nullopt if the model has no weight matrices, or if
+     * the matrices (plus gradients when requested) do not fit in the
+     * register budget.
      */
     static std::optional<DistributionPlan>
     tryBuild(const graph::Model& model, const gpusim::DeviceSpec& spec,
@@ -159,7 +170,19 @@ class DistributionPlan
      * Automatic configuration (Sections III-A1 and III-C2): prefer
      * two CTAs per SM with cached gradients; fall back to one CTA,
      * then to dropping gradient caching (the CUBLAS GEMM strategy).
-     * fatal()s if the weights alone cannot be cached.
+     * @return a structured error if the weights alone cannot be
+     * cached (no specialization exists for this model/device pair).
+     */
+    static common::Result<DistributionPlan>
+    tryBuildAuto(const graph::Model& model,
+                 const gpusim::DeviceSpec& spec, const VppsOptions& opts,
+                 int rpw);
+
+    /**
+     * tryBuildAuto() for callers that have already validated the
+     * model fits (tests, benches); panics if it does not. Tools with
+     * untrusted user models should call tryBuildAuto() and report the
+     * error themselves.
      */
     static DistributionPlan
     buildAuto(const graph::Model& model, const gpusim::DeviceSpec& spec,

@@ -11,9 +11,9 @@ namespace vpps {
 namespace {
 
 /** Specialize (or load from the cache) the kernel for one rpw. */
-CompiledKernel
-obtainKernel(graph::Model& model, gpusim::Device& device,
-             const VppsOptions& opts, int rpw)
+common::Result<CompiledKernel>
+tryObtainKernel(graph::Model& model, gpusim::Device& device,
+                const VppsOptions& opts, int rpw)
 {
     if (!opts.kernel_cache_dir.empty()) {
         const KernelCache cache(opts.kernel_cache_dir);
@@ -23,32 +23,61 @@ obtainKernel(graph::Model& model, gpusim::Device& device,
             return std::move(*hit);
         }
         const KernelSpecializer specializer(device.spec());
-        auto plan = DistributionPlan::buildAuto(model, device.spec(),
-                                                opts, rpw);
-        auto kernel = specializer.specialize(model, plan);
+        auto plan = DistributionPlan::tryBuildAuto(model, device.spec(),
+                                                   opts, rpw);
+        if (!plan.ok())
+            return plan.takeStatus();
+        auto kernel = specializer.specialize(model, plan.value());
         cache.store(kernel, model, device.spec());
         return kernel;
     }
     const KernelSpecializer specializer(device.spec());
     auto plan =
-        DistributionPlan::buildAuto(model, device.spec(), opts, rpw);
-    return specializer.specialize(model, plan);
+        DistributionPlan::tryBuildAuto(model, device.spec(), opts, rpw);
+    if (!plan.ok())
+        return plan.takeStatus();
+    return specializer.specialize(model, plan.value());
 }
 
 } // namespace
 
-Handle::Handle(graph::Model& model, gpusim::Device& device,
-               VppsOptions opts)
+Handle::Handle(Defer, gpusim::Device& device, VppsOptions opts)
     : device_(device), opts_(opts), pipeline_(opts.async),
       executor_(device, opts.host_threads)
 {
+}
+
+Handle::Handle(graph::Model& model, gpusim::Device& device,
+               VppsOptions opts)
+    : Handle(Defer{}, device, opts)
+{
+    if (auto st = init(model); !st.ok())
+        common::panic("vpps::Handle: ", st.toString(),
+                      " (use tryCreate for untrusted models)");
+}
+
+common::Result<std::unique_ptr<Handle>>
+Handle::tryCreate(graph::Model& model, gpusim::Device& device,
+                  VppsOptions opts)
+{
+    std::unique_ptr<Handle> handle(new Handle(Defer{}, device, opts));
+    if (auto st = handle->init(model); !st.ok())
+        return st;
+    return handle;
+}
+
+common::Status
+Handle::init(graph::Model& model)
+{
     if (!model.allocated())
-        common::fatal("vpps::Handle: model must be allocated before "
-                      "constructing the handle");
+        return common::Status::failure(
+            common::ErrorCode::InvalidArgument,
+            "model must be allocated before constructing the handle");
     if (opts_.rpw > 0) {
-        kernels_.emplace(opts_.rpw,
-                         obtainKernel(model, device_, opts_,
-                                      opts_.rpw));
+        auto k = tryObtainKernel(model, device_, opts_, opts_.rpw);
+        if (!k.ok())
+            return k.takeStatus();
+        kernels_.emplace(opts_.rpw, std::move(k).value());
     } else {
         // Compile one kernel per valid rpw, bounded: beyond ~8 rows
         // per warp the locality gains flatten while JIT cost keeps
@@ -59,11 +88,16 @@ Handle::Handle(graph::Model& model, gpusim::Device& device,
             kMaxCandidates,
             DistributionPlan::maxRpw(model, device_.spec(), opts_));
         if (max_rpw < 1)
-            common::fatal("vpps::Handle: no valid rpw; weights do not "
-                          "fit in the register file");
-        for (int rpw = 1; rpw <= max_rpw; ++rpw)
-            kernels_.emplace(rpw,
-                             obtainKernel(model, device_, opts_, rpw));
+            return common::Status::failure(
+                common::ErrorCode::OutOfMemory,
+                "no valid rpw; weights do not fit in the register "
+                "file");
+        for (int rpw = 1; rpw <= max_rpw; ++rpw) {
+            auto k = tryObtainKernel(model, device_, opts_, rpw);
+            if (!k.ok())
+                return k.takeStatus();
+            kernels_.emplace(rpw, std::move(k).value());
+        }
         tuner_ = std::make_unique<ProfileGuidedTuner>(max_rpw);
     }
     for (const auto& [rpw, k] : kernels_)
@@ -86,6 +120,7 @@ Handle::Handle(graph::Model& model, gpusim::Device& device,
             device_.installFaults(*plan);
         }
     }
+    return common::Status();
 }
 
 const CompiledKernel&
@@ -93,6 +128,8 @@ Handle::kernel() const
 {
     if (fallback_kernel_)
         return *fallback_kernel_;
+    if (route_to_fallback_ && prepared_fallback_)
+        return *prepared_fallback_;
     const int rpw = forced_rpw_ > 0
                         ? forced_rpw_
                         : (tuner_ ? tuner_->candidate() : opts_.rpw);
@@ -100,6 +137,40 @@ Handle::kernel() const
     if (it == kernels_.end())
         common::panic("vpps::Handle: no kernel for rpw ", rpw);
     return it->second;
+}
+
+common::Status
+Handle::prepareFallback(graph::Model& model)
+{
+    if (prepared_fallback_ || fallback_kernel_)
+        return common::Status();
+    VppsOptions fopts = opts_;
+    fopts.cache_gradients = false;
+    fopts.ctas_per_sm = 0;
+    const int rpw = opts_.rpw > 0 ? opts_.rpw : 1;
+    auto k = tryObtainKernel(model, device_, fopts, rpw);
+    if (!k.ok())
+        return k.takeStatus();
+    prepared_fallback_ = std::move(k).value();
+    jit_seconds_ += prepared_fallback_->prog_compile_s +
+                    prepared_fallback_->module_load_s;
+    return common::Status();
+}
+
+void
+Handle::setRouteToFallback(bool on)
+{
+    if (on && !prepared_fallback_ && !fallback_kernel_)
+        common::panic("vpps::Handle::setRouteToFallback: call "
+                      "prepareFallback first");
+    route_to_fallback_ = on;
+}
+
+bool
+Handle::routedToFallback() const
+{
+    return fallback_kernel_.has_value() ||
+           (route_to_fallback_ && prepared_fallback_.has_value());
 }
 
 bool
@@ -131,9 +202,23 @@ Handle::degrade(graph::Model& model)
     VppsOptions fopts = opts_;
     fopts.cache_gradients = false;
     fopts.ctas_per_sm = 0;
-    fallback_kernel_ = obtainKernel(model, device_, fopts, bad_rpw);
-    jit_seconds_ += fallback_kernel_->prog_compile_s +
-                    fallback_kernel_->module_load_s;
+    if (prepared_fallback_) {
+        // The serving layer JITed the fallback up front; adopt it.
+        fallback_kernel_ = std::move(prepared_fallback_);
+        prepared_fallback_.reset();
+    } else {
+        auto k = tryObtainKernel(model, device_, fopts, bad_rpw);
+        if (!k.ok()) {
+            common::warn("vpps::Handle: GEMM-fallback specialization "
+                         "failed (",
+                         k.status().toString(),
+                         "); nothing left to degrade to");
+            return false;
+        }
+        fallback_kernel_ = std::move(k).value();
+        jit_seconds_ += fallback_kernel_->prog_compile_s +
+                        fallback_kernel_->module_load_s;
+    }
     forced_rpw_ = 0;
     common::inform("vpps::Handle: degrading to the GEMM-fallback "
                    "kernel after repeated launch failures");
@@ -175,9 +260,62 @@ Handle::fb(graph::Model& model, graph::ComputationGraph& cg,
 {
     auto r = fbTry(model, cg, loss);
     if (!r.ok())
-        common::fatal("vpps::Handle::fb: unrecoverable error: ",
-                      r.status().toString());
+        common::panic("vpps::Handle::fb: unrecoverable error: ",
+                      r.status().toString(),
+                      " (use fbTry when the caller can recover)");
     return r.value();
+}
+
+common::Result<float>
+Handle::inferTry(graph::Model& model, graph::ComputationGraph& cg,
+                 graph::Expr loss)
+{
+    // p - lr*(g + wd*p) with lr = 0 leaves every finite parameter
+    // bitwise unchanged, so the training kernel doubles as the
+    // inference kernel with its update tail rendered inert -- and the
+    // whole fbTry recovery ladder still guards the batch.
+    const float lr = model.learning_rate;
+    const float wd = model.weight_decay;
+    model.learning_rate = 0.0f;
+    model.weight_decay = 0.0f;
+    auto r = fbTry(model, cg, loss);
+    model.learning_rate = lr;
+    model.weight_decay = wd;
+    return r;
+}
+
+double
+Handle::estimateBatchUs(std::size_t batch_items,
+                        double nodes_per_item) const
+{
+    const auto& spec = device_.spec();
+    const DistributionPlan& plan = kernel().plan;
+    const double nodes =
+        static_cast<double>(batch_items) * nodes_per_item;
+
+    // Host side: graph construction plus forward/backward scheduling,
+    // derated by the working-set factor at this node count.
+    const double host_us =
+        nodes * (host_.graph_node_us + 2.0 * host_.sched_node_us) *
+        host_.workingSetFactor(static_cast<std::uint64_t>(nodes));
+
+    // Device side: model each node as roughly one matrix-vector
+    // product against a row_max-square matrix (the dominant scripted
+    // instruction) plus two elementwise companions, spread over the
+    // VPPs, behind one kernel launch.
+    const double rows = static_cast<double>(plan.rowMax());
+    gpusim::KernelCost per_node;
+    per_node.flops = 2.0 * rows * rows + 4.0 * rows;
+    per_node.dram_load_bytes = 12.0 * rows;
+    per_node.dram_store_bytes = 12.0 * rows;
+    per_node.latency_hops = 1.0;
+    const double node_us = gpusim::vppInstructionUs(
+        spec, per_node, plan.ctasPerSm(), plan.numVpps());
+    const double device_us =
+        spec.kernel_launch_us +
+        nodes * node_us / std::max(1, plan.numVpps());
+
+    return host_us + device_us;
 }
 
 common::Result<float>
@@ -320,6 +458,16 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
             device_.chargeTime(backoff);
             rec.recovery_us += launch_cost + backoff;
             if (launch_attempts >= opts_.max_relaunch_attempts) {
+                if (!opts_.degrade_on_failure) {
+                    // The caller (serving circuit breaker) owns the
+                    // fallback-routing decision; report and let it
+                    // trip.
+                    mem.resetTo(mark);
+                    return Status::failure(
+                               ErrorCode::LaunchFailure,
+                               "relaunch budget exhausted")
+                        .withAttempts(launch_attempts);
+                }
                 if (!degrade(model)) {
                     mem.resetTo(mark);
                     return Status::failure(

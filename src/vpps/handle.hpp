@@ -133,9 +133,22 @@ class Handle
      * (the default) one kernel per valid rpw is compiled up front and
      * the profile-guided tuner selects among them over the first
      * training batches (Section III-A1).
+     *
+     * panic()s when no specialization exists (unallocated model,
+     * weights that cannot be register-cached); callers holding
+     * untrusted models use tryCreate() instead.
      */
     Handle(graph::Model& model, gpusim::Device& device,
            VppsOptions opts = {});
+
+    /**
+     * Handle construction with recoverable errors: the serving layer
+     * creates endpoints from configuration it does not control, so
+     * an invalid model must surface as a Status, never an abort.
+     */
+    static common::Result<std::unique_ptr<Handle>>
+    tryCreate(graph::Model& model, gpusim::Device& device,
+              VppsOptions opts = {});
 
     /**
      * Run forward propagation, backward propagation, and parameter
@@ -170,6 +183,46 @@ class Handle
                                 graph::ComputationGraph& cg,
                                 graph::Expr loss);
 
+    /**
+     * Inference through the training kernel: run the super-graph
+     * forward (and its now-inert backward/update tail) with the
+     * learning rate and weight decay pinned to zero, so parameters
+     * are bitwise unchanged while the full fbTry() recovery ladder
+     * still protects the batch. Serving handles run with opts.async
+     * = false, which makes the returned loss the *current* batch's.
+     */
+    common::Result<float> inferTry(graph::Model& model,
+                                   graph::ComputationGraph& cg,
+                                   graph::Expr loss);
+
+    /**
+     * Cost-model prior for one batch's service time (host + device),
+     * us. The serving layer uses it for admission feasibility until
+     * (or instead of, when probes fail under faults) calibration
+     * measurements are available.
+     *
+     * @param batch_items inputs in the batch
+     * @param nodes_per_item expected computation-graph nodes per item
+     */
+    double estimateBatchUs(std::size_t batch_items,
+                           double nodes_per_item) const;
+
+    /**
+     * JIT the GEMM-fallback kernel (cache_gradients = false) up
+     * front so the circuit breaker can route to it without paying
+     * compilation inside a request. Idempotent; a no-op when the
+     * handle already degraded onto the fallback.
+     */
+    common::Status prepareFallback(graph::Model& model);
+
+    /**
+     * Route subsequent batches to the prepared fallback kernel (the
+     * circuit breaker's open-state path) or back to the primary
+     * specialization. panic()s if enabling without prepareFallback().
+     */
+    void setRouteToFallback(bool on);
+    bool routedToFallback() const;
+
     /** Wait for the in-flight kernel and return its loss. */
     float sync_get_latest_loss();
 
@@ -188,6 +241,16 @@ class Handle
     const VppsOptions& options() const { return opts_; }
 
   private:
+    /** Tag for the deferred-initialization constructor. */
+    struct Defer
+    {
+    };
+
+    Handle(Defer, gpusim::Device& device, VppsOptions opts);
+
+    /** Shared construction body; all validation errors are Status. */
+    common::Status init(graph::Model& model);
+
     /**
      * Graceful degradation after an exhausted relaunch budget: stop
      * the tuner, retire the failing rpw, and switch to an untried
@@ -221,6 +284,12 @@ class Handle
     std::vector<int> degraded_rpws_;
     int forced_rpw_ = 0; //!< > 0 pins kernel() after a degradation
     std::optional<CompiledKernel> fallback_kernel_;
+    /** @} */
+
+    /** @name Breaker routing state (serving layer)
+     *  @{ */
+    std::optional<CompiledKernel> prepared_fallback_;
+    bool route_to_fallback_ = false;
     /** @} */
 
     /** Pre-batch parameter values for rollback, one flat buffer. */

@@ -25,8 +25,11 @@ hashCombine(std::uint64_t h, std::uint64_t v)
 KernelCache::KernelCache(std::string directory)
     : directory_(std::move(directory))
 {
+    // An empty directory makes the cache inert (load() misses,
+    // store() is a no-op) rather than aborting: a served request must
+    // never take the process down over a configuration slip.
     if (directory_.empty())
-        common::fatal("KernelCache: empty directory");
+        common::warn("KernelCache: empty directory; caching disabled");
 }
 
 std::string
@@ -61,9 +64,14 @@ KernelCache::load(const graph::Model& model,
                   const gpusim::DeviceSpec& spec,
                   const VppsOptions& opts, int rpw) const
 {
+    if (directory_.empty())
+        return std::nullopt; // inert cache
     // The plan the handle would build: needed both to form the key
     // and to reconstitute the kernel on a hit.
-    auto plan = DistributionPlan::buildAuto(model, spec, opts, rpw);
+    auto plan_r = DistributionPlan::tryBuildAuto(model, spec, opts, rpw);
+    if (!plan_r.ok())
+        return std::nullopt; // no valid plan -> nothing cacheable
+    auto plan = std::move(plan_r).value();
     const std::string key = keyFor(model, spec, rpw, plan.ctasPerSm(),
                                    plan.gradientsCached());
     std::ifstream in(pathFor(key));
@@ -101,6 +109,8 @@ KernelCache::store(const CompiledKernel& kernel,
                    const graph::Model& model,
                    const gpusim::DeviceSpec& spec) const
 {
+    if (directory_.empty())
+        return; // inert cache
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
     if (ec) {

@@ -75,7 +75,8 @@ ScriptExecutor::ScriptExecutor(gpusim::Device& device, int threads)
 ScriptExecutor::~ScriptExecutor() = default;
 
 common::Result<const DecodedProgram*>
-ScriptExecutor::decoded(const Script& script)
+ScriptExecutor::decoded(const Script& script,
+                        const graph::Model& model)
 {
     using common::ErrorCode;
     using common::Status;
@@ -83,8 +84,12 @@ ScriptExecutor::decoded(const Script& script)
     // Content digest over the full sealed buffer (the same value the
     // transfer checksum uses). Identical batches generate identical
     // words, so replayed minibatches hit here and skip the whole
-    // decode-and-validate pass.
-    const std::uint64_t h = script.checksum();
+    // decode-and-validate pass. The model's param count folds into
+    // the key because operand validation depends on it.
+    const std::uint64_t h =
+        script.checksum() ^
+        (0x9E3779B97F4A7C15ull *
+         (static_cast<std::uint64_t>(model.numParams()) + 1));
     if (auto it = decode_cache_.find(h); it != decode_cache_.end())
         return static_cast<const DecodedProgram*>(it->second.get());
 
@@ -150,6 +155,102 @@ ScriptExecutor::decoded(const Script& script)
             }
             for (int i = 0; i < n; ++i)
                 in.operands[i] = pc[1 + i];
+
+            // Range validation (decoder hardening): every param-id
+            // immediate and operand offset/length pair is checked
+            // here, before the interpreter can dereference it, so a
+            // corrupted or adversarial script surfaces a structured
+            // MalformedScript error instead of out-of-bounds access.
+            const std::size_t cap = device_.memory().capacity();
+            auto fail_decode = [&](const char* what) {
+                return Status::failure(
+                           ErrorCode::MalformedScript,
+                           common::detail::concat(
+                               what, " in ", opcodeName(in.op)))
+                    .withVpp(vpp)
+                    .withPc(idx);
+            };
+            auto span_ok = [&](std::uint32_t off, std::uint64_t len) {
+                return static_cast<std::uint64_t>(off) < cap &&
+                       static_cast<std::uint64_t>(off) + len <= cap;
+            };
+            // Operands 0..k-1 are pool vectors of imm floats each.
+            auto vectors_ok = [&](int k) {
+                for (int i = 0; i < k; ++i)
+                    if (!span_ok(in.operands[i], in.imm))
+                        return false;
+                return true;
+            };
+            switch (in.op) {
+              case Opcode::MatVec:
+              case Opcode::MatVecT:
+              case Opcode::Outer: {
+                if (in.imm >= model.numParams())
+                    return fail_decode("param id out of range");
+                const auto& shape = model.param(in.imm).shape;
+                const std::uint64_t rows = shape.rows();
+                const std::uint64_t cols = shape.cols();
+                // MatVec reads x (cols) and writes y (rows); the
+                // backward products read dy (rows) and touch a
+                // cols-length vector.
+                const std::uint64_t len0 =
+                    in.op == Opcode::MatVec ? cols : rows;
+                const std::uint64_t len1 =
+                    in.op == Opcode::MatVec ? rows : cols;
+                if (!span_ok(in.operands[0], len0) ||
+                    !span_ok(in.operands[1], len1))
+                    return fail_decode("operand out of pool range");
+                break;
+              }
+              case Opcode::Copy:
+              case Opcode::Accum:
+              case Opcode::AccumParam:
+              case Opcode::Tanh:
+              case Opcode::Sigmoid:
+              case Opcode::Relu:
+              case Opcode::Scale:
+              case Opcode::ScaleAccum:
+              case Opcode::UpdateVec:
+                if (!vectors_ok(2))
+                    return fail_decode("operand out of pool range");
+                break;
+              case Opcode::Add2:
+              case Opcode::Mul:
+              case Opcode::MulAccum:
+              case Opcode::TanhBack:
+              case Opcode::SigmoidBack:
+              case Opcode::ReluBack:
+                if (!vectors_ok(3))
+                    return fail_decode("operand out of pool range");
+                break;
+              case Opcode::Add3:
+                if (!vectors_ok(4))
+                    return fail_decode("operand out of pool range");
+                break;
+              case Opcode::PickNLS:
+                if (in.imm == 0)
+                    return fail_decode("empty logits vector");
+                if (!span_ok(in.operands[0], in.imm) ||
+                    !span_ok(in.operands[1], in.imm) ||
+                    !span_ok(in.operands[2], 1))
+                    return fail_decode("operand out of pool range");
+                if (in.operands[3] >= in.imm)
+                    return fail_decode("label out of range");
+                break;
+              case Opcode::PickNLSBack:
+                if (in.imm == 0)
+                    return fail_decode("empty logits vector");
+                if (!span_ok(in.operands[0], in.imm) ||
+                    !span_ok(in.operands[1], 1) ||
+                    !span_ok(in.operands[2], in.imm))
+                    return fail_decode("operand out of pool range");
+                if (in.operands[3] >= in.imm)
+                    return fail_decode("label out of range");
+                break;
+              default:
+                break; // Nop, Signal, Wait: no pool operands
+            }
+
             out.push_back(in);
             pc += 1 + n;
         }
@@ -188,7 +289,7 @@ ScriptExecutor::run(const CompiledKernel& kernel,
     const int num_vpps = plan.numVpps();
     auto& mem = device_.memory();
     const Script& script = batch.script;
-    auto dec = decoded(script);
+    auto dec = decoded(script, model);
     if (!dec.ok())
         return dec.takeStatus();
     const DecodedProgram& prog = *dec.value();

@@ -140,11 +140,20 @@ class ScriptExecutor
                                   graph::ComputationGraph& cg);
 
   private:
-    /** Decode and statically validate @p script, or return the cached
-     *  decoding of an identical earlier script. Invalid scripts are
-     *  never cached. */
+    /**
+     * Decode and statically validate @p script, or return the cached
+     * decoding of an identical earlier script. Invalid scripts are
+     * never cached.
+     *
+     * Validation is exhaustive over everything the interpreter will
+     * later dereference: opcodes, stream framing, barrier indices and
+     * signal counts, param-id immediates (against @p model), and every
+     * operand offset/length pair (against the device pool capacity).
+     * A script that decodes OK therefore cannot drive the interpreter
+     * out of bounds, no matter where its bytes came from.
+     */
     common::Result<const DecodedProgram*>
-    decoded(const Script& script);
+    decoded(const Script& script, const graph::Model& model);
 
     gpusim::Device& device_;
     int threads_;

@@ -142,8 +142,7 @@ TEST(Codegen, RequiresAllocatedModel)
     gpusim::DeviceSpec spec;
     const vpps::KernelSpecializer specializer(spec);
     vpps::DistributionPlan plan; // placeholder
-    EXPECT_EXIT(specializer.specialize(model, plan),
-                testing::ExitedWithCode(1), "allocated");
+    EXPECT_DEATH(specializer.specialize(model, plan), "allocated");
 }
 
 } // namespace

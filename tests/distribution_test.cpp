@@ -156,7 +156,7 @@ TEST(Distribution, AutoDropsGradientCachingWhenNecessary)
     EXPECT_FALSE(plan.gradientsCached());
 }
 
-TEST(Distribution, OversizedModelIsFatal)
+TEST(Distribution, OversizedModelIsRecoverable)
 {
     gpusim::Device device(gpusim::DeviceSpec{}, 128u << 20);
     graph::Model model;
@@ -165,9 +165,31 @@ TEST(Distribution, OversizedModelIsFatal)
     common::Rng rng(4);
     model.allocate(device, rng);
     VppsOptions opts;
-    EXPECT_EXIT(
-        DistributionPlan::buildAuto(model, device.spec(), opts, 1),
-        testing::ExitedWithCode(1), "do not fit");
+    auto plan =
+        DistributionPlan::tryBuildAuto(model, device.spec(), opts, 1);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().code(), common::ErrorCode::OutOfMemory);
+    EXPECT_NE(plan.status().toString().find("do not fit"),
+              std::string::npos);
+}
+
+TEST(Distribution, ModelWithoutWeightMatricesIsRecoverable)
+{
+    gpusim::Device device(gpusim::DeviceSpec{}, 1u << 20);
+    graph::Model model;
+    model.addBias("b", 8);
+    common::Rng rng(4);
+    model.allocate(device, rng);
+    VppsOptions opts;
+    EXPECT_FALSE(
+        DistributionPlan::tryBuild(model, device.spec(), opts, 1, 1,
+                                   true)
+            .has_value());
+    auto plan =
+        DistributionPlan::tryBuildAuto(model, device.spec(), opts, 1);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().code(),
+              common::ErrorCode::InvalidArgument);
 }
 
 TEST(Distribution, MaxRpwShrinksWithWiderRows)

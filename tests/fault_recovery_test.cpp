@@ -27,6 +27,8 @@
 #include "models/rvnn.hpp"
 #include "models/td_lstm.hpp"
 #include "models/tree_lstm.hpp"
+#include "serve/arrival.hpp"
+#include "serve/server.hpp"
 #include "train/harness.hpp"
 #include "vpps/handle.hpp"
 
@@ -298,6 +300,47 @@ TEST(FaultRecovery, NanGuardSkipsPoisonedBatches)
     // stayed where it was put and spread no further.
     expectBitwiseEqual(poisoned, paramBits(*m, f.device),
                        "NaN-guarded parameters");
+}
+
+TEST(FaultRecovery, ServingPathCountersReconcileUnderFaults)
+{
+    // The serving loop drives batches through the same fbTry ladder
+    // as training; with a transient plan and 8-thread host
+    // interpretation, the server's request accounting and the
+    // handle's recovery counters must both reconcile exactly against
+    // the injector's log -- no fault handled twice, none dropped.
+    Factory f;
+    auto m = f.make("Tree-LSTM");
+    f.device.installFaults(gpusim::FaultPlan::uniform(0.15, 57));
+    auto opts = recoveryOptions();
+    opts.host_threads = 8;
+    vpps::Handle handle(m->model(), f.device, opts);
+
+    serve::ServerConfig cfg;
+    serve::Server server(f.device, {{"treelstm", m.get(), &handle}},
+                         cfg);
+    server.calibrate();
+    const double batch_us =
+        server.serviceUs(0, cfg.batch.max_batch);
+
+    serve::ArrivalConfig ac;
+    ac.rate_per_sec = 0.6 * server.capacityPerSec();
+    ac.count = 40;
+    ac.deadline_slack_us = 60.0 * batch_us;
+    ac.low_deadline_slack_us = 60.0 * batch_us;
+    ac.seed = 19;
+    server.run(serve::generateOpenLoopArrivals(
+        ac, server.nowUs() + batch_us, m->datasetSize()));
+
+    const auto& c = server.counters();
+    EXPECT_TRUE(c.reconciled());
+    EXPECT_GT(c.completed, 0u);
+    EXPECT_GT(c.batches, 0u);
+
+    const auto& log = f.device.faults()->injected();
+    EXPECT_GT(log.total(), 0u)
+        << "the plan injected nothing -- raise the rate";
+    expectCountersMatchInjectorLog(handle.stats().recovery, log);
 }
 
 TEST(FaultRecovery, EnvAndOptionPlumbingInstallInjectors)

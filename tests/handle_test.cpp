@@ -42,8 +42,12 @@ TEST(Handle, RequiresAllocatedModel)
     gpusim::Device device(gpusim::DeviceSpec{}, 1u << 20);
     graph::Model model;
     model.addWeightMatrix("W", 8, 8);
-    EXPECT_EXIT(vpps::Handle(model, device, vpps::VppsOptions{}),
-                testing::ExitedWithCode(1), "allocated");
+    auto r = vpps::Handle::tryCreate(model, device,
+                                     vpps::VppsOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), common::ErrorCode::InvalidArgument);
+    EXPECT_DEATH(vpps::Handle(model, device, vpps::VppsOptions{}),
+                 "allocated");
 }
 
 TEST(Handle, FixedRpwCompilesExactlyOneKernel)

@@ -53,8 +53,8 @@ TEST(Harness, ZeroBatchIsFatal)
 {
     TrainRig rig;
     graph::ComputationGraph cg;
-    EXPECT_EXIT(train::buildSuperGraph(rig.model, cg, 0, 0),
-                testing::ExitedWithCode(1), "batch");
+    EXPECT_DEATH(train::buildSuperGraph(rig.model, cg, 0, 0),
+                 "batch");
 }
 
 TEST(Harness, MeasureExecutorReportsConsistentThroughput)

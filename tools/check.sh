@@ -11,11 +11,22 @@
 # The soak is scoped to tests that tolerate perturbed timing; suites
 # that assert exact DRAM-traffic or timing budgets stay fault-free.
 #
-# Usage: tools/check.sh [build-dir]   (default: build-tsan)
+# A third pass rebuilds with AddressSanitizer + UBSan (TSan is
+# mutually exclusive with ASan) and runs the decoder hardening and
+# serving suites: the fuzz tests push random and bit-flipped scripts
+# through decode, so any out-of-bounds dereference a validation gap
+# would permit becomes a hard failure here. The pass finishes with
+# the serving-overload soak (offered load 2x capacity AND a 15%
+# transient fault rate): the bench exits nonzero unless the server
+# survives with fully reconciled request accounting.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-tsan; the ASan
+#        pass uses <build-dir>-asan)
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
+ASAN_DIR="${BUILD_DIR}-asan"
 
 cmake -B "$BUILD_DIR" -S . -DVPPS_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -27,3 +38,13 @@ echo "== fault-injection soak (VPPS_FAULT_RATE=0.02, seed 7) =="
 VPPS_HOST_THREADS=8 VPPS_FAULT_SEED=7 VPPS_FAULT_RATE=0.02 \
     ctest --test-dir "$BUILD_DIR" --output-on-failure \
           -R 'FaultRecovery|MalformedScript|Interpreter\.|Equivalence'
+
+echo "== ASan/UBSan decoder-hardening + serving pass =="
+cmake -B "$ASAN_DIR" -S . -DVPPS_ASAN=ON -DVPPS_UBSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_DIR" -j"$(nproc)"
+ctest --test-dir "$ASAN_DIR" --output-on-failure \
+      -R 'DecoderFuzz|MalformedScript|Serving\.|FaultRecovery'
+
+echo "== serving-overload soak (2x capacity, fault rate 0.15) =="
+"$ASAN_DIR"/bench/serving_overload --faults

@@ -118,8 +118,11 @@ main(int argc, char** argv)
     vpps::VppsOptions opts;
     opts.rpw = args.rpw;
     opts.cache_gradients = args.grad_cache;
-    auto plan = vpps::DistributionPlan::buildAuto(
+    auto plan_r = vpps::DistributionPlan::tryBuildAuto(
         model, rig.device().spec(), opts, args.rpw);
+    if (!plan_r.ok())
+        common::fatal("vppsc: ", plan_r.status().toString());
+    auto plan = std::move(plan_r).value();
 
     if (args.show_plan) {
         common::Table t({"property", "value"});
