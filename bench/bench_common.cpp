@@ -129,6 +129,21 @@ BenchCli
 parseBenchArgs(int argc, char** argv)
 {
     BenchCli cli;
+    // Accepts both "--flag value" and "--flag=value" for the
+    // path-taking flags.
+    auto valueOf = [&](const std::string& arg, const char* flag,
+                       int& i, std::string& out) {
+        const std::string prefix = std::string(flag) + "=";
+        if (arg.rfind(prefix, 0) == 0) {
+            out = arg.substr(prefix.size());
+            return true;
+        }
+        if (arg == flag && i + 1 < argc) {
+            out = argv[++i];
+            return true;
+        }
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--threads" && i + 1 < argc) {
@@ -139,14 +154,58 @@ parseBenchArgs(int argc, char** argv)
             cli.functional = true;
         } else if (arg == "--vpps-only") {
             cli.vpps_only = true;
+        } else if (valueOf(arg, "--trace", i, cli.trace_path) ||
+                   valueOf(arg, "--metrics", i, cli.metrics_path)) {
+            // handled by valueOf
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--threads N] [--json] [--functional]"
-                         " [--vpps-only]\n";
+                         " [--vpps-only] [--trace FILE]"
+                         " [--metrics FILE]\n";
             std::exit(2);
         }
     }
     return cli;
+}
+
+ObsScope::ObsScope(gpusim::Device& device, const BenchCli& cli)
+    : device_(device), trace_path_(cli.trace_path),
+      metrics_path_(cli.metrics_path)
+{
+    if (!trace_path_.empty()) {
+        // Sized so the stock bench runs keep every event (the full
+        // serving_overload sweep emits ~450k): with zero drops the
+        // exported trace is byte-identical at any host thread count.
+        // Larger runs fall back to flight-recorder truncation and
+        // the dropped() warning below.
+        tracer_ = std::make_unique<obs::Tracer>(std::size_t{1} << 20);
+        device_.installTracer(tracer_.get());
+    }
+    if (!metrics_path_.empty()) {
+        metrics_ = std::make_unique<obs::MetricsRegistry>();
+        device_.installMetrics(metrics_.get());
+    }
+}
+
+ObsScope::~ObsScope()
+{
+    if (metrics_) {
+        device_.publishMetrics(*metrics_);
+        if (auto st = metrics_->writeJson(metrics_path_); !st.ok())
+            common::warn("bench: ", st.toString());
+        device_.installMetrics(nullptr);
+    }
+    if (tracer_) {
+        if (tracer_->dropped() > 0)
+            common::warn("bench: trace ring dropped ",
+                         tracer_->dropped(),
+                         " events (oldest overwritten); the file "
+                         "holds the most recent window");
+        if (auto st = obs::writeChromeTrace(trace_path_, *tracer_);
+            !st.ok())
+            common::warn("bench: ", st.toString());
+        device_.installTracer(nullptr);
+    }
 }
 
 void

@@ -17,6 +17,9 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "data/ner_corpus.hpp"
 #include "data/treebank.hpp"
 #include "data/vocab.hpp"
@@ -109,6 +112,10 @@ void printTable(const std::string& title, const common::Table& table);
  *                  accelerates
  *   --vpps-only    skip the baseline executors (they are serial by
  *                  design and would swamp host wall-clock comparisons)
+ *   --trace F      write a Chrome-trace JSON of the simulated run to
+ *                  F (open in chrome://tracing or ui.perfetto.dev);
+ *                  --trace=F also accepted
+ *   --metrics F    write the metrics-registry JSON dump to F
  */
 struct BenchCli
 {
@@ -116,10 +123,40 @@ struct BenchCli
     bool json = false;
     bool functional = false;
     bool vpps_only = false;
+    std::string trace_path;   //!< empty = tracing off
+    std::string metrics_path; //!< empty = no metrics dump
 };
 
 /** Parse the shared bench flags; exits with usage on unknown args. */
 BenchCli parseBenchArgs(int argc, char** argv);
+
+/**
+ * RAII observability attachment for a bench: installs a tracer and a
+ * metrics registry on @p device according to the --trace/--metrics
+ * flags (a no-op when neither was given), and on destruction
+ * publishes the device gauges, writes both files, and detaches.
+ * Attach one scope per device whose run should be captured.
+ */
+class ObsScope
+{
+  public:
+    ObsScope(gpusim::Device& device, const BenchCli& cli);
+    ~ObsScope();
+
+    ObsScope(const ObsScope&) = delete;
+    ObsScope& operator=(const ObsScope&) = delete;
+
+    bool enabled() const { return tracer_ || metrics_; }
+    obs::Tracer* tracer() { return tracer_.get(); }
+    obs::MetricsRegistry* metrics() { return metrics_.get(); }
+
+  private:
+    gpusim::Device& device_;
+    std::string trace_path_;
+    std::string metrics_path_;
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+};
 
 /**
  * When --json is on, print one machine-readable line:

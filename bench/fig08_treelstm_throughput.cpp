@@ -22,6 +22,9 @@ main(int argc, char** argv)
 {
     const benchx::BenchCli cli = benchx::parseBenchArgs(argc, argv);
     benchx::AppRig rig("Tree-LSTM", 0, 0, cli.functional);
+    // --trace/--metrics capture the whole sweep on this rig's device
+    // (flight-recorder: a long sweep keeps the most recent window).
+    benchx::ObsScope obs(rig.device(), cli);
     vpps::VppsOptions opts = benchx::AppRig::defaultOptions();
     opts.host_threads = cli.threads;
 

@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 
 #include <iostream>
+#include <optional>
 
 #include "gpusim/faults.hpp"
 
@@ -59,6 +60,11 @@ main(int argc, char** argv)
         benchx::AppRig rig("Tree-LSTM");
         auto opts = benchx::AppRig::defaultOptions();
         opts.host_threads = cli.threads;
+        // --trace/--metrics capture the highest-rate point: the one
+        // whose recovery-lane activity is worth inspecting.
+        std::optional<benchx::ObsScope> obs;
+        if (rate == 0.2)
+            obs.emplace(rig.device(), cli);
         if (rate > 0.0)
             rig.device().installFaults(
                 gpusim::FaultPlan::uniform(rate, 42));

@@ -16,6 +16,7 @@
 #include "bench_common.hpp"
 
 #include <iostream>
+#include <optional>
 
 #include "gpusim/faults.hpp"
 #include "serve/arrival.hpp"
@@ -30,12 +31,22 @@ struct LoadPoint
     double goodput_per_sec = 0.0;
 };
 
-/** Serve one open-loop trace at @p multiplier x capacity. */
+/**
+ * Serve one open-loop trace at @p multiplier x capacity. When
+ * @p observe is true the point runs under an ObsScope, so
+ * --trace/--metrics capture it (the sweep attaches this to the 2.0x
+ * point -- the one whose brown-out/shedding behaviour is worth
+ * looking at on a timeline).
+ */
 LoadPoint
 runLoadPoint(const benchx::BenchCli& cli, double multiplier,
-             std::size_t count, double fault_rate)
+             std::size_t count, double fault_rate,
+             bool observe = false)
 {
     benchx::AppRig rig("Tree-LSTM", 0, 0, cli.functional);
+    std::optional<benchx::ObsScope> scope;
+    if (observe)
+        scope.emplace(rig.device(), cli);
     if (fault_rate > 0.0)
         rig.device().installFaults(
             gpusim::FaultPlan::uniform(fault_rate, 42));
@@ -104,7 +115,8 @@ main(int argc, char** argv)
                          "rejected", "timed out"});
     for (const double mult : {0.25, 0.5, 0.7, 1.0, 1.5, 2.0}) {
         benchx::WallTimer timer;
-        const auto pt = runLoadPoint(cli, mult, 240, 0.0);
+        const auto pt =
+            runLoadPoint(cli, mult, 240, 0.0, mult == 2.0);
         const auto& c = pt.report.counters;
         if (!c.reconciled()) {
             std::cerr << "serving_overload: counters do not "

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Observability quick-start: trace a few VPPS training steps on the
+ * simulated clock and dump the metrics registry (DESIGN.md section
+ * 4.8).
+ *
+ * The recipe:
+ *
+ *   1. create an obs::Tracer and obs::MetricsRegistry and attach
+ *      them to the device (installTracer / installMetrics) -- every
+ *      simulator layer reachable from that device now emits events;
+ *   2. run the workload exactly as before: tracing never changes a
+ *      simulated result, it only records it;
+ *   3. detach, publish the device gauges, and export: a Chrome-trace
+ *      JSON (open at https://ui.perfetto.dev or chrome://tracing --
+ *      one lane per VPP plus device/host lanes) and a metrics JSON.
+ *
+ * Benches get the same wiring for free via
+ * `--trace=<file> --metrics=<file>` (see bench/bench_common.hpp).
+ * The committed examples/traces/observability_trace.json was
+ * produced by exactly this program.
+ */
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "graph/expr.hpp"
+#include "models/lstm.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "vpps/handle.hpp"
+
+int
+main(int argc, char** argv)
+{
+    const std::string trace_path =
+        argc > 1 ? argv[1] : "observability_trace.json";
+    const std::string metrics_path =
+        argc > 2 ? argv[2] : "observability_metrics.json";
+
+    // The same tiny recurrent classifier the quickstart trains, cut
+    // down to a 4-SM device and two small batches so the trace stays
+    // small enough to read (and to commit under examples/traces/).
+    gpusim::DeviceSpec spec;
+    spec.num_sms = 4;
+    gpusim::Device device(spec, 64u << 20);
+    common::Rng rng(1234);
+
+    graph::Model model;
+    models::LstmBuilder lstm(model, "rnn", 16, 32);
+    const auto w_out = model.addWeightMatrix("W_out", 2, 32);
+    const auto b_out = model.addBias("b_out", 2);
+    model.allocate(device, rng);
+    model.learning_rate = 0.1f;
+
+    // -- 1. Attach the observability plane.
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    device.installTracer(&tracer);
+    device.installMetrics(&metrics);
+
+    vpps::Handle handle(model, device);
+
+    // -- 2. The workload, unchanged: two fixed-seed batches.
+    common::Rng data_rng(99);
+    for (int step = 0; step < 2; ++step) {
+        graph::ComputationGraph cg;
+        std::vector<graph::Expr> losses;
+        for (int i = 0; i < 2; ++i) {
+            const int len = data_rng.nextInt(3, 6);
+            auto state = lstm.start(cg);
+            float mean = 0.0f;
+            for (int t = 0; t < len; ++t) {
+                std::vector<float> x(16);
+                for (auto& v : x) {
+                    v = data_rng.nextFloat(-1.0f, 1.0f);
+                    mean += v;
+                }
+                state = lstm.next(model, state,
+                                  graph::input(cg, std::move(x)));
+            }
+            auto logits = graph::matvec(model, w_out, state.h) +
+                          graph::parameter(cg, model, b_out);
+            losses.push_back(graph::pickNegLogSoftmax(
+                logits, mean > 0.0f ? 1u : 0u));
+        }
+        handle.fb(model, cg, graph::sumLosses(std::move(losses)));
+    }
+    const float final_loss = handle.sync_get_latest_loss();
+
+    // -- 3. Detach and export.
+    device.publishMetrics(metrics);
+    device.installTracer(nullptr);
+    device.installMetrics(nullptr);
+    if (auto st = obs::writeChromeTrace(trace_path, tracer); !st.ok()) {
+        std::cerr << st.toString() << "\n";
+        return 1;
+    }
+    if (auto st = metrics.writeJson(metrics_path); !st.ok()) {
+        std::cerr << st.toString() << "\n";
+        return 1;
+    }
+
+    std::cout << "final loss/item " << final_loss / 2.0f << "\n"
+              << "recorded " << tracer.recorded() << " events ("
+              << tracer.dropped() << " dropped) -> " << trace_path
+              << "\n"
+              << "metrics -> " << metrics_path << "\n"
+              << "open the trace at https://ui.perfetto.dev or "
+                 "chrome://tracing\n";
+    return 0;
+}

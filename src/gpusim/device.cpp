@@ -1,5 +1,10 @@
 #include "gpusim/device.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gpusim {
 
 Device::Device(DeviceSpec spec, std::size_t pool_floats)
@@ -10,11 +15,34 @@ Device::Device(DeviceSpec spec, std::size_t pool_floats)
 double
 Device::launchKernel(const KernelCost& cost)
 {
+    const double start_us = busy_us_;
     const double duration = spec_.kernel_launch_us +
                             kernelBodyUs(spec_, cost);
     busy_us_ += duration;
     ++launches_;
+    if (tracer_)
+        tracer_->complete(
+            obs::kLaneDevice, "gpu", "kernel", start_us, duration,
+            static_cast<std::int64_t>(launches_),
+            cost.dram_load_bytes, cost.dram_store_bytes);
     return duration;
+}
+
+void
+Device::publishMetrics(obs::MetricsRegistry& registry) const
+{
+    registry.gauge("device.launches")
+        .set(static_cast<double>(launches_));
+    registry.gauge("device.busy_us").set(busy_us_);
+    registry.gauge("device.clock_us").set(clock_us_);
+    for (std::size_t i = 0; i < TrafficStats::kNumSpaces; ++i) {
+        const auto space = static_cast<MemSpace>(i);
+        const std::string name = memSpaceName(space);
+        registry.gauge("dram.load_bytes." + name)
+            .set(traffic_.loadBytes(space));
+        registry.gauge("dram.store_bytes." + name)
+            .set(traffic_.storeBytes(space));
+    }
 }
 
 void

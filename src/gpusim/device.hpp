@@ -13,6 +13,11 @@
 #include "gpusim/device_spec.hpp"
 #include "gpusim/faults.hpp"
 
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+} // namespace obs
+
 namespace gpusim {
 
 /**
@@ -121,6 +126,34 @@ class Device
     FaultInjector* faults() { return faults_.get(); }
     const FaultInjector* faults() const { return faults_.get(); }
 
+    /**
+     * Attach a borrowed event tracer (nullptr detaches). Every
+     * simulator layer reachable from this device emits through it;
+     * tracing only *reads* simulated state, so results are bitwise
+     * identical with or without a tracer installed.
+     */
+    void installTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+    /** @return the attached tracer, or nullptr when tracing is off. */
+    obs::Tracer* tracer() const { return tracer_; }
+
+    /** Attach a borrowed metrics registry (nullptr detaches). */
+    void
+    installMetrics(obs::MetricsRegistry* metrics)
+    {
+        metrics_ = metrics;
+    }
+
+    /** @return the attached registry, or nullptr. */
+    obs::MetricsRegistry* metrics() const { return metrics_; }
+
+    /**
+     * Snapshot device accounting (launches, busy/clock time, per-space
+     * DRAM byte totals) into gauges under "device." / "dram." in
+     * @p registry.
+     */
+    void publishMetrics(obs::MetricsRegistry& registry) const;
+
   private:
     DeviceSpec spec_;
     DeviceMemory memory_;
@@ -130,6 +163,8 @@ class Device
     std::uint64_t launches_ = 0;
     bool functional_ = true;
     std::unique_ptr<FaultInjector> faults_;
+    obs::Tracer* tracer_ = nullptr;          //!< borrowed, may be null
+    obs::MetricsRegistry* metrics_ = nullptr; //!< borrowed, may be null
 };
 
 } // namespace gpusim

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace gpusim {
 
@@ -53,6 +54,12 @@ PersistentSim::signal(std::size_t barrier, int vpp)
         common::panic("PersistentSim: barrier ", barrier, " over-signaled");
     b.release_time = std::max(b.release_time, timeOf(vpp));
     ++barrier_ops_;
+    if (tracer_)
+        tracer_->instant(vpp, "barrier", "signal",
+                         trace_base_us_ + timeOf(vpp),
+                         static_cast<std::int64_t>(barrier),
+                         static_cast<double>(b.arrived),
+                         static_cast<double>(b.expected));
 }
 
 int
@@ -85,7 +92,13 @@ PersistentSim::wait(std::size_t barrier, int vpp)
     // Spin-poll on the barrier word plus the per-phase
     // interpretation round (see DeviceSpec::barrier_wait_us).
     auto& t = vpp_time_[static_cast<std::size_t>(vpp)];
+    const double before = t;
     t = std::max(t, b.release_time + spec_.barrier_wait_us);
+    if (tracer_)
+        tracer_->instant(vpp, "barrier", "wait",
+                         trace_base_us_ + t,
+                         static_cast<std::int64_t>(barrier),
+                         t - before);
 }
 
 double

@@ -21,6 +21,10 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device_spec.hpp"
 
+namespace obs {
+class Tracer;
+} // namespace obs
+
 namespace gpusim {
 
 /** Per-VPP timelines and global barriers for one kernel invocation. */
@@ -83,6 +87,21 @@ class PersistentSim
     int arrivedAt(std::size_t barrier) const;
     /** @} */
 
+    /**
+     * Attach a borrowed tracer for barrier signal/wait events
+     * (nullptr detaches). VPP clocks count from kernel start;
+     * @p base_us is added to every emitted timestamp so barrier
+     * events line up with the device-wide timeline the rest of the
+     * trace uses. signal()/wait() run in the executor's serial
+     * barrier fixpoint, so emission here is single-threaded.
+     */
+    void
+    setTracer(obs::Tracer* tracer, double base_us)
+    {
+        tracer_ = tracer;
+        trace_base_us_ = base_us;
+    }
+
   private:
     struct Barrier
     {
@@ -97,6 +116,8 @@ class PersistentSim
     std::vector<double> vpp_time_;
     std::vector<Barrier> barriers_;
     std::uint64_t barrier_ops_ = 0;
+    obs::Tracer* tracer_ = nullptr; //!< borrowed, may be null
+    double trace_base_us_ = 0.0;
 
     Barrier& barrierAt(std::size_t barrier);
 };

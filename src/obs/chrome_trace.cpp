@@ -1,0 +1,150 @@
+/** @file Trace Event Format (chrome://tracing / Perfetto) export. */
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace obs {
+
+namespace {
+
+constexpr int kPid = 1; //!< one simulated process
+
+void
+appendDouble(std::string& out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+/** cat/name are static identifier strings; escape anyway. */
+void
+appendJsonString(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendCommon(std::string& out, const TraceEvent& e)
+{
+    out += "\"cat\": ";
+    appendJsonString(out, e.cat);
+    out += ", \"pid\": " + std::to_string(kPid) +
+           ", \"tid\": " + std::to_string(e.lane) + ", \"ts\": ";
+    appendDouble(out, e.ts_us);
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const Tracer& tracer)
+{
+    const std::vector<TraceEvent> events = tracer.canonical();
+
+    std::string out;
+    out.reserve(events.size() * 128 + 1024);
+    out += "{\"traceEvents\": [\n";
+
+    // Lane-name metadata first, so the viewer labels every tid. tid
+    // order puts VPP lanes (small indices) above the host lanes.
+    std::set<std::int32_t> lanes;
+    for (const TraceEvent& e : events)
+        lanes.insert(e.lane);
+    bool first = true;
+    for (const std::int32_t lane : lanes) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\": \"thread_name\", \"ph\": \"M\", "
+               "\"pid\": " +
+               std::to_string(kPid) +
+               ", \"tid\": " + std::to_string(lane) +
+               ", \"args\": {\"name\": ";
+        appendJsonString(out, laneName(lane));
+        out += "}}";
+    }
+
+    for (const TraceEvent& e : events) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\": ";
+        appendJsonString(out, e.name);
+        out += ", ";
+        appendCommon(out, e);
+        switch (e.kind) {
+          case EventKind::Complete:
+            out += ", \"ph\": \"X\", \"dur\": ";
+            appendDouble(out, e.dur_us);
+            out += ", \"args\": {\"ctx\": " +
+                   std::to_string(e.ctx) + ", \"a0\": ";
+            appendDouble(out, e.arg0);
+            out += ", \"a1\": ";
+            appendDouble(out, e.arg1);
+            out += "}}";
+            break;
+          case EventKind::Instant:
+            out += ", \"ph\": \"i\", \"s\": \"t\", \"args\": "
+                   "{\"ctx\": " +
+                   std::to_string(e.ctx) + ", \"a0\": ";
+            appendDouble(out, e.arg0);
+            out += ", \"a1\": ";
+            appendDouble(out, e.arg1);
+            out += "}}";
+            break;
+          case EventKind::Counter:
+            // Counter samples carry the absolute running total in
+            // arg0; the viewer plots it as a stepped series.
+            out += ", \"ph\": \"C\", \"args\": {";
+            appendJsonString(out, e.name);
+            out += ": ";
+            appendDouble(out, e.arg0);
+            out += "}}";
+            break;
+        }
+    }
+
+    out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return out;
+}
+
+common::Status
+writeChromeTrace(const std::string& path, const Tracer& tracer)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return common::Status::failure(
+            common::ErrorCode::InvalidArgument,
+            "cannot open trace output file: " + path);
+    f << chromeTraceJson(tracer);
+    f.flush();
+    if (!f)
+        return common::Status::failure(
+            common::ErrorCode::InvalidArgument,
+            "short write to trace output file: " + path);
+    return common::Status();
+}
+
+} // namespace obs

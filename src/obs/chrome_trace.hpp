@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Chrome-trace JSON exporter (DESIGN.md section 4.8): renders a
+ * Tracer's canonical stream in the `chrome://tracing` / Perfetto
+ * "Trace Event Format" -- one lane (tid) per VPP plus the fixed
+ * device/host/recovery/serve lanes, Complete events as ph "X",
+ * instants as ph "i", counters as ph "C". Open the file at
+ * https://ui.perfetto.dev or chrome://tracing.
+ *
+ * The exporter consumes canonical() output, so the emitted JSON is
+ * itself deterministic: byte-identical across host thread counts and
+ * repeated runs.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/trace.hpp"
+
+namespace obs {
+
+/** @return the full trace as a Trace-Event-Format JSON document. */
+std::string chromeTraceJson(const Tracer& tracer);
+
+/** Write chromeTraceJson() to @p path. */
+common::Status writeChromeTrace(const std::string& path,
+                                const Tracer& tracer);
+
+} // namespace obs

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Deterministic event tracing on the simulated clock (DESIGN.md
+ * section 4.8).
+ *
+ * The tracer is a flight recorder for counted quantities the paper's
+ * argument is made of: per-VPP execution segments, barrier traffic,
+ * kernel launches, DRAM byte counters, recovery-ladder rungs, and
+ * serving decisions. Three rules make it fit this simulator:
+ *
+ *  1. *Simulated time only.* Every event timestamp comes from a
+ *     simulated clock (VPP timelines, device busy time, the serving
+ *     clock) -- never from the host's wall clock -- so the same run
+ *     produces the same trace, bit for bit, on any machine.
+ *
+ *  2. *No perturbation.* Emitting an event only reads simulator
+ *     state; it never charges time, touches device memory, or draws
+ *     from an RNG. Simulated results are bitwise identical with
+ *     tracing enabled or disabled (asserted by trace_test).
+ *
+ *  3. *Thread-count independence.* Events are appended to lock-free
+ *     per-host-thread ring buffers (the interpreter's worker pool
+ *     emits from its workers), so which buffer an event lands in --
+ *     and the interleaving across buffers -- depends on scheduling.
+ *     The *canonical* stream therefore orders events by content
+ *     (timestamp, lane, kind, names, payload), which is a total
+ *     order over the value-identical event multiset that
+ *     host-parallel interpretation guarantees; canonical() output is
+ *     byte-identical at any host thread count (trace_test's golden
+ *     property).
+ *
+ * Sinks hold a borrowed `Tracer*` that is null when tracing is off;
+ * the emit helpers are no-ops on a null tracer, so the disabled cost
+ * is one pointer test per site.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace obs {
+
+/** Chrome-trace phase the event maps to. */
+enum class EventKind : std::uint8_t
+{
+    Complete, //!< a span with a known duration (ph "X")
+    Instant,  //!< a point event (ph "i")
+    Counter,  //!< an absolute counter sample (ph "C")
+};
+
+/** @return a short stable name for an event kind. */
+const char* eventKindName(EventKind kind);
+
+/**
+ * @name Lanes
+ * Trace lanes ("threads" in the Chrome viewer). VPPs use their index
+ * directly (0 .. num_vpps-1); host-side actors get fixed lanes well
+ * above any plausible VPP count.
+ * @{
+ */
+constexpr std::int32_t kLaneDevice = 1'000'000;   //!< kernel launches
+constexpr std::int32_t kLaneHost = 1'000'001;     //!< decode, host phases
+constexpr std::int32_t kLaneRecovery = 1'000'002; //!< recovery ladder
+constexpr std::int32_t kLaneServe = 1'000'003;    //!< serving decisions
+/** @} */
+
+/** @return the display name of a lane ("vpp 3", "device", ...). */
+std::string laneName(std::int32_t lane);
+
+/**
+ * One trace event. `cat` and `name` must point at string literals
+ * (or otherwise outlive the tracer): events never own memory, so
+ * emission is an array store.
+ */
+struct TraceEvent
+{
+    double ts_us = 0.0;  //!< simulated timestamp
+    double dur_us = 0.0; //!< span duration (Complete only)
+    double arg0 = 0.0;   //!< payload (bytes, counts, counter value)
+    double arg1 = 0.0;   //!< secondary payload
+    std::int64_t ctx = 0; //!< context id: pc, request id, barrier...
+    std::int32_t lane = 0;
+    EventKind kind = EventKind::Instant;
+    const char* cat = "";
+    const char* name = "";
+};
+
+/**
+ * Content-based total order over events: (ts, lane, kind, cat, name,
+ * ctx, dur, arg0, arg1). Two runs that emit the same event multiset
+ * canonicalize to the same sequence regardless of emission order.
+ */
+bool canonicalLess(const TraceEvent& a, const TraceEvent& b);
+
+/**
+ * The event recorder: one fixed-capacity ring buffer per emitting
+ * host thread, written without locks (a registration mutex is taken
+ * once per thread, never on the emit path). When a ring wraps, the
+ * oldest events are overwritten (flight-recorder semantics) and
+ * dropped() starts counting; the golden-trace comparisons require
+ * dropped() == 0, so tests size the capacity to their workload.
+ */
+class Tracer
+{
+  public:
+    /** @param shard_capacity ring size per emitting thread. */
+    explicit Tracer(std::size_t shard_capacity = kDefaultCapacity);
+    ~Tracer();
+
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /** Default per-thread ring capacity (events). */
+    static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+    /** Record a span with a known duration. */
+    void
+    complete(std::int32_t lane, const char* cat, const char* name,
+             double ts_us, double dur_us, std::int64_t ctx = 0,
+             double arg0 = 0.0, double arg1 = 0.0)
+    {
+        TraceEvent e;
+        e.ts_us = ts_us;
+        e.dur_us = dur_us;
+        e.arg0 = arg0;
+        e.arg1 = arg1;
+        e.ctx = ctx;
+        e.lane = lane;
+        e.kind = EventKind::Complete;
+        e.cat = cat;
+        e.name = name;
+        push(e);
+    }
+
+    /** Record a point event. */
+    void
+    instant(std::int32_t lane, const char* cat, const char* name,
+            double ts_us, std::int64_t ctx = 0, double arg0 = 0.0,
+            double arg1 = 0.0)
+    {
+        TraceEvent e;
+        e.ts_us = ts_us;
+        e.arg0 = arg0;
+        e.arg1 = arg1;
+        e.ctx = ctx;
+        e.lane = lane;
+        e.kind = EventKind::Instant;
+        e.cat = cat;
+        e.name = name;
+        push(e);
+    }
+
+    /** Record an absolute counter sample (not a delta: samples carry
+     *  the running total, so the latest sample needs no summation --
+     *  and no float re-association -- to reconcile against the
+     *  accounting structs). */
+    void
+    counter(std::int32_t lane, const char* cat, const char* name,
+            double ts_us, double value, std::int64_t ctx = 0)
+    {
+        TraceEvent e;
+        e.ts_us = ts_us;
+        e.arg0 = value;
+        e.ctx = ctx;
+        e.lane = lane;
+        e.kind = EventKind::Counter;
+        e.cat = cat;
+        e.name = name;
+        push(e);
+    }
+
+    /** Events emitted so far (including any overwritten). */
+    std::uint64_t recorded() const;
+
+    /** Events lost to ring wrap-around. */
+    std::uint64_t dropped() const;
+
+    std::size_t shardCapacity() const { return capacity_; }
+
+    /**
+     * The canonical event stream: all shards merged and sorted by
+     * canonicalLess(). Byte-identical across host thread counts and
+     * across repeated runs when dropped() == 0.
+     */
+    std::vector<TraceEvent> canonical() const;
+
+    /**
+     * The canonical stream rendered one line per event with exact
+     * (round-trip) float formatting -- the representation the
+     * golden-trace tests compare byte-for-byte.
+     */
+    std::string canonicalText() const;
+
+    /** Forget all recorded events (capacity is kept). */
+    void clear();
+
+  private:
+    struct Shard
+    {
+        std::vector<TraceEvent> ring;
+        std::uint64_t count = 0;
+    };
+
+    /** The calling thread's shard; registers it on first use. */
+    Shard& shard();
+
+    void
+    push(const TraceEvent& e)
+    {
+        Shard& s = shard();
+        s.ring[static_cast<std::size_t>(s.count % capacity_)] = e;
+        ++s.count;
+    }
+
+    const std::size_t capacity_;
+    const std::uint64_t id_; //!< distinguishes reused addresses
+
+    mutable std::mutex register_mu_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/** Render one event as a stable single-line record. */
+std::string formatEvent(const TraceEvent& e);
+
+} // namespace obs

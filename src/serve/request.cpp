@@ -1,8 +1,7 @@
 /** @file Request accounting helpers. */
 #include "serve/request.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include "obs/metrics.hpp"
 
 namespace serve {
 
@@ -12,41 +11,22 @@ requestClassName(RequestClass cls)
     return cls == RequestClass::High ? "high" : "low";
 }
 
-namespace {
-
-/** Nearest-rank percentile over a sorted sample (deterministic:
- *  no interpolation, so the result is always an observed value). */
-double
-percentileSorted(const std::vector<double>& sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const auto n = sorted.size();
-    auto rank = static_cast<std::size_t>(std::ceil(p * n));
-    if (rank == 0)
-        rank = 1;
-    if (rank > n)
-        rank = n;
-    return sorted[rank - 1];
-}
-
-} // namespace
-
 LatencyStats
-latencyStats(std::vector<double> latencies_us)
+latencyStats(const std::vector<double>& latencies_us)
 {
+    obs::Histogram hist;
+    for (const double v : latencies_us)
+        hist.observe(v);
+
     LatencyStats out;
-    out.count = latencies_us.size();
-    if (latencies_us.empty())
+    out.count = hist.count();
+    if (out.count == 0)
         return out;
-    std::sort(latencies_us.begin(), latencies_us.end());
-    double sum = 0.0;
-    for (double v : latencies_us)
-        sum += v;
-    out.mean_us = sum / static_cast<double>(latencies_us.size());
-    out.p50_us = percentileSorted(latencies_us, 0.50);
-    out.p99_us = percentileSorted(latencies_us, 0.99);
-    out.max_us = latencies_us.back();
+    out.mean_us = hist.mean();
+    out.p50_us = hist.percentile(0.50);
+    out.p95_us = hist.percentile(0.95);
+    out.p99_us = hist.percentile(0.99);
+    out.max_us = hist.max();
     return out;
 }
 

@@ -106,17 +106,23 @@ struct ServerCounters
     }
 };
 
-/** Order statistics over completed-request latencies. */
+/**
+ * Order statistics over completed-request latencies. Computed by an
+ * obs::Histogram (exact nearest-rank percentiles over the retained
+ * samples), so a serving report and a metrics-registry dump of the
+ * same run can never disagree.
+ */
 struct LatencyStats
 {
     std::uint64_t count = 0;
     double mean_us = 0.0;
     double p50_us = 0.0;
+    double p95_us = 0.0;
     double p99_us = 0.0;
     double max_us = 0.0;
 };
 
 /** @return order statistics of @p latencies_us (unsorted input). */
-LatencyStats latencyStats(std::vector<double> latencies_us);
+LatencyStats latencyStats(const std::vector<double>& latencies_us);
 
 } // namespace serve

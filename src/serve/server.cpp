@@ -6,10 +6,20 @@
 
 #include "common/logging.hpp"
 #include "graph/expr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace serve {
 
 namespace {
+
+/** Bump a registry counter iff a registry is attached. */
+inline void
+count(gpusim::Device& device, const char* name)
+{
+    if (obs::MetricsRegistry* mx = device.metrics())
+        mx->counter(name).add();
+}
 
 /** Build one batch super-graph: one loss per queued request. */
 graph::Expr
@@ -137,6 +147,7 @@ Server::onArrival(const Request& req)
 
     ++counters_.arrivals;
     ++counters_.arrivals_at_level[static_cast<int>(level)];
+    count(device_, "serve.arrivals");
 
     // Earliest dispatch: device free, backoff gate open, plus the
     // backlog's worth of full batches queued ahead of this request.
@@ -151,19 +162,37 @@ Server::onArrival(const Request& req)
     const double est_service =
         b.windowUs(level) + serviceUs(req.endpoint, batch_items);
 
+    // One instant per admission decision on the serve lane, with the
+    // request id as context and the brown-out level as payload; the
+    // matching "serve.*" counters mirror ServerCounters one-for-one
+    // (the reconciliation identities carry over to the registry).
+    obs::Tracer* const tracer = device_.tracer();
+    auto decided = [&](const char* name, const char* metric) {
+        if (tracer)
+            tracer->instant(obs::kLaneServe, "serve", name, now_,
+                            static_cast<std::int64_t>(req.id),
+                            static_cast<double>(level),
+                            static_cast<double>(depth));
+        count(device_, metric);
+    };
+
     switch (admission_.decide(req, depth, est_start, est_service)) {
     case AdmissionController::Decision::Admit:
         ++counters_.admitted;
+        decided("admit", "serve.admitted");
         b.enqueue(Queued{req, 0, now_});
         return;
     case AdmissionController::Decision::RejectQueueFull:
         ++counters_.rejected_queue_full;
+        decided("reject_queue_full", "serve.rejected_queue_full");
         return;
     case AdmissionController::Decision::RejectInfeasible:
         ++counters_.rejected_infeasible;
+        decided("reject_infeasible", "serve.rejected_infeasible");
         return;
     case AdmissionController::Decision::Shed:
         ++counters_.shed;
+        decided("shed", "serve.shed");
         return;
     }
 }
@@ -173,12 +202,18 @@ Server::dispatch(int ep)
 {
     const auto i = static_cast<std::size_t>(ep);
     Batcher& b = batchers_[i];
+    obs::Tracer* const tracer = device_.tracer();
 
     // Cancel queued requests that can no longer make their deadline.
     for (Queued& dead : b.expire(now_)) {
-        (void)dead;
         ++counters_.timed_out;
         ++counters_.cancelled_before_dispatch;
+        count(device_, "serve.timed_out");
+        count(device_, "serve.cancelled_before_dispatch");
+        if (tracer)
+            tracer->instant(
+                obs::kLaneServe, "serve", "expire", now_,
+                static_cast<std::int64_t>(dead.req.id));
     }
     std::vector<Queued> items = b.form(now_);
     if (items.empty())
@@ -187,7 +222,16 @@ Server::dispatch(int ep)
     Endpoint& e = endpoints_[i];
     bool primary = true;
     if (fallback_ready_[i]) {
+        const CircuitBreaker::State before = breakers_[i].state();
         primary = breakers_[i].usePrimary(now_);
+        const CircuitBreaker::State after = breakers_[i].state();
+        if (after != before) {
+            count(device_, "serve.breaker_transitions");
+            if (tracer)
+                tracer->instant(obs::kLaneServe, "breaker",
+                                breakerStateName(after), now_, ep,
+                                static_cast<double>(before));
+        }
         e.handle->setRouteToFallback(!primary);
     }
 
@@ -205,8 +249,16 @@ Server::dispatch(int ep)
         dur = 1.0;
 
     ++counters_.batches;
-    if (!primary)
+    count(device_, "serve.batches");
+    if (!primary) {
         ++counters_.fallback_batches;
+        count(device_, "serve.fallback_batches");
+    }
+    if (tracer)
+        tracer->complete(obs::kLaneServe, "serve",
+                         primary ? "batch" : "fallback_batch", now_,
+                         dur, ep, static_cast<double>(items.size()),
+                         r.ok() ? 1.0 : 0.0);
     in_flight_ =
         InFlight{std::move(items), ep, r.ok(), primary, now_ + dur};
 }
@@ -217,24 +269,59 @@ Server::complete()
     InFlight fb = std::move(*in_flight_);
     in_flight_.reset();
     const auto i = static_cast<std::size_t>(fb.endpoint);
+    obs::Tracer* const tracer = device_.tracer();
+    obs::MetricsRegistry* const mx = device_.metrics();
+
+    auto breakerMoved = [&](CircuitBreaker::State before) {
+        const CircuitBreaker::State after = breakers_[i].state();
+        if (after == before)
+            return;
+        count(device_, "serve.breaker_transitions");
+        if (tracer)
+            tracer->instant(obs::kLaneServe, "breaker",
+                            breakerStateName(after), now_,
+                            fb.endpoint,
+                            static_cast<double>(before));
+    };
 
     if (fb.ok) {
-        if (fb.was_primary)
+        if (fb.was_primary) {
+            const CircuitBreaker::State before = breakers_[i].state();
             breakers_[i].onPrimarySuccess();
+            breakerMoved(before);
+        }
         for (const Queued& q : fb.items) {
             if (fb.done_at_us > q.req.deadline_us) {
                 ++counters_.timed_out;
+                count(device_, "serve.timed_out");
+                if (tracer)
+                    tracer->instant(
+                        obs::kLaneServe, "serve", "timeout", now_,
+                        static_cast<std::int64_t>(q.req.id));
             } else {
                 ++counters_.completed;
-                latencies_.push_back(fb.done_at_us -
-                                     q.req.arrival_us);
+                const double latency =
+                    fb.done_at_us - q.req.arrival_us;
+                latencies_.push_back(latency);
+                count(device_, "serve.completed");
+                if (mx)
+                    mx->histogram("serve.latency_us")
+                        .observe(latency);
+                if (tracer)
+                    tracer->instant(
+                        obs::kLaneServe, "serve", "complete", now_,
+                        static_cast<std::int64_t>(q.req.id),
+                        latency);
             }
         }
         return;
     }
 
-    if (fb.was_primary)
+    if (fb.was_primary) {
+        const CircuitBreaker::State before = breakers_[i].state();
         breakers_[i].onPrimaryFailure(now_);
+        breakerMoved(before);
+    }
 
     // Re-enqueue survivors at the queue front in their original
     // order (reverse iteration + push_front), gated by exponential
@@ -244,6 +331,11 @@ Server::complete()
         Queued& q = *it;
         if (q.req.deadline_us <= now_) {
             ++counters_.timed_out;
+            count(device_, "serve.timed_out");
+            if (tracer)
+                tracer->instant(
+                    obs::kLaneServe, "serve", "timeout", now_,
+                    static_cast<std::int64_t>(q.req.id));
             continue;
         }
         const int budget = q.req.cls == RequestClass::High
@@ -257,8 +349,20 @@ Server::complete()
                 std::max(deepest_attempt, again.attempts);
             batchers_[i].enqueueFront(std::move(again));
             ++counters_.retries;
+            count(device_, "serve.retries");
+            if (tracer)
+                tracer->instant(
+                    obs::kLaneServe, "serve", "retry", now_,
+                    static_cast<std::int64_t>(q.req.id),
+                    static_cast<double>(q.attempts + 1));
         } else {
             ++counters_.failed;
+            count(device_, "serve.failed");
+            if (tracer)
+                tracer->instant(
+                    obs::kLaneServe, "serve", "fail", now_,
+                    static_cast<std::int64_t>(q.req.id),
+                    static_cast<double>(q.attempts));
         }
     }
     if (deepest_attempt > 0) {

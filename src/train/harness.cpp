@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace train {
 
@@ -90,6 +92,13 @@ captureCheckpoint(const graph::Model& model,
         const float* v = mem.data(p.value);
         ckpt.params.insert(ckpt.params.end(), v, v + p.shape.size());
     }
+    if (obs::Tracer* tracer = device.tracer())
+        tracer->instant(obs::kLaneHost, "train", "checkpoint",
+                        device.busyUs(),
+                        static_cast<std::int64_t>(next_input),
+                        static_cast<double>(ckpt.params.size()));
+    if (obs::MetricsRegistry* mx = device.metrics())
+        mx->counter("train.checkpoints").add();
     return ckpt;
 }
 
@@ -124,6 +133,13 @@ restoreCheckpoint(const TrainCheckpoint& ckpt, graph::Model& model,
                   mem.data(p.value));
         pos += p.shape.size();
     }
+    if (obs::Tracer* tracer = device.tracer())
+        tracer->instant(obs::kLaneHost, "train", "restore",
+                        device.busyUs(),
+                        static_cast<std::int64_t>(ckpt.next_input),
+                        static_cast<double>(ckpt.params.size()));
+    if (obs::MetricsRegistry* mx = device.metrics())
+        mx->counter("train.restores").add();
     return common::Status();
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "vpps/kernel_cache.hpp"
 
 namespace vpps {
@@ -331,6 +333,22 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
     const auto mark = mem.mark();
     const double gpu_before = device_.busyUs();
 
+    // One recovery-ladder rung fired: an instant on the recovery lane
+    // plus a "recovery.<rung>" counter. Rungs are counted at exactly
+    // the sites that bump RecoveryStats, so the registry reconciles
+    // 1:1 against the injector's FaultLog (metrics_test pins the
+    // category-for-category identity). fbTry runs serially on the
+    // host, so emission order is deterministic.
+    obs::Tracer* const tracer = device_.tracer();
+    obs::MetricsRegistry* const metrics = device_.metrics();
+    auto rung = [&](const char* name, double arg0 = 0.0) {
+        if (tracer)
+            tracer->instant(obs::kLaneRecovery, "recovery", name,
+                            device_.busyUs(), 0, arg0);
+        if (metrics)
+            metrics->counter(std::string("recovery.") + name).add();
+    };
+
     // Host-time components accumulate across recovery replays: a
     // rolled-back batch regenerates its script, and that host work --
     // like the device time of a killed kernel -- is genuinely spent.
@@ -361,6 +379,8 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
         // retrying the batch.
         if (inj && inj->failBatchAlloc()) {
             ++rec.alloc_retries;
+            rung("alloc_retry",
+                 static_cast<double>(alloc_attempts + 1));
             if (alloc_attempts++ >= opts_.max_retransmits) {
                 mem.resetTo(mark);
                 return Status::failure(
@@ -399,6 +419,8 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
         bool transfer_dead = false;
         while (inj && inj->corruptScriptTransfer()) {
             ++rec.script_retransmits;
+            rung("script_retransmit",
+                 static_cast<double>(retransmits + 1));
             if (retransmits++ >= opts_.max_retransmits) {
                 transfer_dead = true;
                 break;
@@ -448,6 +470,7 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
         while (inj && inj->failLaunch(k.plan.gradientsCached())) {
             ++rec.relaunches;
             ++launch_attempts;
+            rung("relaunch", static_cast<double>(launch_attempts));
             gpusim::KernelCost failed_launch;
             failed_launch.latency_hops = 0.0;
             const double launch_cost =
@@ -476,6 +499,7 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
                                "fallback kernel")
                         .withAttempts(launch_attempts);
                 }
+                rung("degrade");
                 degraded = true;
                 break;
             }
@@ -492,9 +516,13 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
         // prologue fetch); mirror the injector's count so the
         // counters stay category-for-category comparable even when a
         // later fault discards the attempt's RunResult.
-        if (inj)
-            rec.weight_reloads +=
+        if (inj) {
+            const std::uint64_t reloads =
                 inj->injected().weight_ecc - wecc_before;
+            rec.weight_reloads += reloads;
+            for (std::uint64_t i = 0; i < reloads; ++i)
+                rung("weight_reload");
+        }
         if (!run.ok()) {
             rec.recovery_us += device_.busyUs() - attempt_gpu_start;
             if (run.status().code() == ErrorCode::HungVpp) {
@@ -503,6 +531,9 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
                 // pre-batch snapshot and replay from scratch.
                 ++rec.hang_recoveries;
                 ++rec.rollbacks;
+                rung("hang_recovery",
+                     static_cast<double>(hang_attempts + 1));
+                rung("rollback");
                 restoreParamSnapshot(model);
                 mem.resetTo(mark);
                 if (hang_attempts++ >= opts_.max_retransmits)
@@ -530,6 +561,7 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
         bool readback_dead = false;
         while (inj && inj->corruptLossReadback()) {
             ++rec.loss_retries;
+            rung("loss_reread", static_cast<double>(rereads + 1));
             if (rereads++ >= opts_.max_retransmits) {
                 readback_dead = true;
                 break;
@@ -556,6 +588,8 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
             !std::isfinite(batch_loss)) {
             ++rec.skipped_batches;
             ++rec.rollbacks;
+            rung("skipped_batch");
+            rung("rollback");
             rec.recovery_us += device_.busyUs() - attempt_gpu_start;
             restoreParamSnapshot(model);
             skipped = true;

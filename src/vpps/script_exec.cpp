@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "tensor/host_math.hpp"
 
 namespace vpps {
@@ -304,6 +305,20 @@ ScriptExecutor::run(const CompiledKernel& kernel,
     for (std::size_t b = 0; b < script.expectedSignals().size(); ++b)
         psim.setExpectedSignals(
             b, static_cast<int>(script.expectedSignals()[b]));
+
+    // Tracing. VPP clocks restart at zero for every kernel; anchoring
+    // them at the device's current busy time makes successive batches
+    // land one after another on a single trace timeline. Emission
+    // only *reads* simulated state, so RunResult is bitwise identical
+    // with tracing on or off (trace_test pins this).
+    obs::Tracer* const tracer = device_.tracer();
+    const double trace_base = device_.busyUs();
+    psim.setTracer(tracer, trace_base);
+    if (tracer)
+        tracer->instant(
+            obs::kLaneHost, "host", "decode", trace_base,
+            static_cast<std::int64_t>(prog.total_instructions),
+            static_cast<double>(num_vpps));
 
     RunResult result;
 
@@ -709,6 +724,31 @@ ScriptExecutor::run(const CompiledKernel& kernel,
     };
     std::vector<Segment> segments;
 
+    // Counter samples carry the device's *absolute* per-space byte
+    // totals (not deltas), so the latest sample always equals the
+    // TrafficStats accounting exactly -- the reconciliation the
+    // metrics tests assert against table1_weight_loads.
+    auto emitDramCounters = [&]() {
+        if (!tracer)
+            return;
+        const double ts = device_.busyUs();
+        const auto& traffic = device_.traffic();
+        for (std::size_t i = 0;
+             i < gpusim::TrafficStats::kNumSpaces; ++i) {
+            const auto space = static_cast<MemSpace>(i);
+            const double loads = traffic.loadBytes(space);
+            const double stores = traffic.storeBytes(space);
+            if (loads > 0.0)
+                tracer->counter(obs::kLaneDevice, "dram.load",
+                                gpusim::memSpaceName(space), ts,
+                                loads);
+            if (stores > 0.0)
+                tracer->counter(obs::kLaneDevice, "dram.store",
+                                gpusim::memSpaceName(space), ts,
+                                stores);
+        }
+    };
+
     // On any stalled or aborted schedule the partial execution still
     // happened on the device: merge the sinks' traffic and charge the
     // elapsed makespan, so the wasted attempt shows up in simulated
@@ -720,6 +760,7 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         launch_only.latency_hops = 0.0;
         device_.launchKernel(launch_only);
         device_.chargeTime(psim.makespan());
+        emitDramCounters();
         return st;
     };
 
@@ -862,8 +903,19 @@ ScriptExecutor::run(const CompiledKernel& kernel,
                 sinks[static_cast<std::size_t>(seg.vpp)];
             const auto& stream =
                 prog.streams[static_cast<std::size_t>(seg.vpp)];
+            const double seg_start = psim.timeOf(seg.vpp);
             for (std::size_t pc = seg.begin; pc < seg.end; ++pc)
                 exec_instr(seg.vpp, stream[pc], sink);
+            // Emitted from whichever worker ran the segment (the
+            // per-thread shards absorb that); the event *content* is
+            // thread-count independent because the VPP timeline is.
+            if (tracer)
+                tracer->complete(
+                    seg.vpp, "vpp", "segment",
+                    trace_base + seg_start,
+                    psim.timeOf(seg.vpp) - seg_start,
+                    static_cast<std::int64_t>(seg.begin),
+                    static_cast<double>(seg.end - seg.begin));
         };
         if (threads_ > 1 && segments.size() > 1 &&
             round_instructions >= kMinParallelInstructions) {
@@ -929,6 +981,12 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         device_.launchKernel(launch_only);
         device_.chargeTime(result.makespan_us);
     }
+    if (tracer)
+        tracer->complete(
+            obs::kLaneDevice, "gpu", "persistent_kernel",
+            trace_base, result.kernel_us,
+            static_cast<std::int64_t>(result.instructions),
+            result.makespan_us, result.mean_vpp_us);
 
     // -- Uncached-gradient strategy: staged GEMMs (the CUBLAS
     // substitute) followed by dense matrix updates (Section III-C2).
@@ -970,6 +1028,7 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         }
     }
 
+    emitDramCounters();
     result.loss = mem.data(cg.node(batch.loss_node).fwd)[0];
     return result;
 }

@@ -172,6 +172,87 @@ TEST_P(MalformedScriptTest, RuntimeDeadlockIsDiagnosedNotHung)
     EXPECT_EQ(r.error().barrier, 0);
 }
 
+// -- Fuzzer-promoted regressions --------------------------------
+// Shapes the decoder fuzzer (decoder_fuzz_test) surfaced often
+// enough to deserve named, deterministic cases: each models one
+// concrete corruption of an in-flight script transfer.
+
+TEST_P(MalformedScriptTest, BitFlippedMatVecParamIdIsRejected)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // A flipped high bit turns a valid param id into garbage (the
+    // immediate field is 24 bits wide); undetected, the interpreter
+    // would index the model's param table out of bounds.
+    batch.script.emit(0, vpps::Opcode::MatVec, 0x800000u, {0, 0});
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().vpp, 0);
+    EXPECT_EQ(r.error().pc, 0);
+    EXPECT_NE(r.error().message.find("param id out of range"),
+              std::string::npos)
+        << r.error().toString();
+}
+
+TEST_P(MalformedScriptTest, SpanAtPoolCapacityIsRejected)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // Offset == capacity: the first float of the span is already one
+    // past the end of the pool (the classic off-by-one the fuzzer
+    // kept finding around allocator boundaries).
+    const auto cap = static_cast<std::uint32_t>(
+        rig.device.memory().capacity());
+    batch.script.emit(1, vpps::Opcode::Copy, 4, {cap, 0});
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().vpp, 1);
+    EXPECT_NE(r.error().message.find("operand out of pool range"),
+              std::string::npos)
+        << r.error().toString();
+}
+
+TEST_P(MalformedScriptTest, SpanLengthOverflowIsRejected)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // The maximum representable length (all 24 immediate bits set)
+    // with in-range offsets: offset + length lands far past the end
+    // of the pool. The check must sum in 64 bits so a large length
+    // cannot wrap back into range.
+    batch.script.emit(0, vpps::Opcode::Copy, 0xFFFFFFu, {0, 0});
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().vpp, 0);
+    EXPECT_NE(r.error().message.find("operand out of pool range"),
+              std::string::npos)
+        << r.error().toString();
+}
+
+TEST_P(MalformedScriptTest, TruncatedTailAfterValidPrefixIsRejected)
+{
+    MalformedRig rig;
+    auto batch = rig.fresh();
+    // A well-formed prefix followed by a stream cut mid-instruction
+    // (a transfer that dropped its last words): the decode error
+    // must point at the truncated tail, not the valid prefix.
+    batch.script.emit(0, vpps::Opcode::Nop, 0, {});
+    batch.script.emit(0, vpps::Opcode::Nop, 0, {});
+    batch.script.appendRawWord(
+        0, vpps::packPreamble(vpps::Opcode::Add2, 4));
+    batch.script.appendRawWord(0, 1);
+    const auto r = rig.run(batch, GetParam());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::MalformedScript);
+    EXPECT_EQ(r.error().vpp, 0);
+    EXPECT_EQ(r.error().pc, 2);
+    EXPECT_NE(r.error().message.find("truncated"), std::string::npos)
+        << r.error().toString();
+}
+
 TEST_P(MalformedScriptTest, ValidScriptStillRunsAfterRejections)
 {
     // Rejected scripts must not poison the executor's decode cache or

@@ -20,19 +20,27 @@
 # transient fault rate): the bench exits nonzero unless the server
 # survives with fully reconciled request accounting.
 #
+# A fourth pass rebuilds with gcov instrumentation (-DVPPS_COVERAGE)
+# and gates line coverage of the observability layer (src/obs): the
+# tracer, metrics registry, and exporters must stay >= 90% covered by
+# the trace/metrics suites. Uses gcovr when available, else falls
+# back to parsing gcov itself.
+#
 # Usage: tools/check.sh [build-dir]   (default: build-tsan; the ASan
-#        pass uses <build-dir>-asan)
+#        pass uses <build-dir>-asan, the coverage pass <build-dir>-cov)
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 ASAN_DIR="${BUILD_DIR}-asan"
+COV_DIR="${BUILD_DIR}-cov"
 
 cmake -B "$BUILD_DIR" -S . -DVPPS_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
-VPPS_HOST_THREADS=8 ctest --test-dir "$BUILD_DIR" --output-on-failure
+VPPS_HOST_THREADS=8 ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -L tier1
 
 echo "== fault-injection soak (VPPS_FAULT_RATE=0.02, seed 7) =="
 VPPS_HOST_THREADS=8 VPPS_FAULT_SEED=7 VPPS_FAULT_RATE=0.02 \
@@ -48,3 +56,33 @@ ctest --test-dir "$ASAN_DIR" --output-on-failure \
 
 echo "== serving-overload soak (2x capacity, fault rate 0.15) =="
 "$ASAN_DIR"/bench/serving_overload --faults
+
+echo "== observability coverage gate (src/obs >= 90% lines) =="
+cmake -B "$COV_DIR" -S . -DVPPS_COVERAGE=ON \
+      -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$COV_DIR" -j"$(nproc)" --target vpps_tests
+ctest --test-dir "$COV_DIR" --output-on-failure \
+      -R 'TraceUnit|GoldenTrace|MetricsUnit|MetricsReconcile|MetricsSoak'
+if command -v gcovr >/dev/null 2>&1; then
+    gcovr --root . --filter 'src/obs/' --print-summary \
+          --fail-under-line 90 "$COV_DIR"
+else
+    # CMake names the data files <src>.cpp.gcda, which gcov's -o
+    # lookup does not resolve; hand it the .gcda files directly.
+    gcov -n "$COV_DIR"/src/CMakeFiles/vpps_lib.dir/obs/*.cpp.gcda \
+        | awk '
+        /^File / { keep = index($0, "src/obs/") > 0 }
+        keep && /^Lines executed:/ {
+            split($0, parts, ":"); split(parts[2], a, "% of ")
+            covered += a[1] / 100.0 * a[2]; total += a[2]; keep = 0
+        }
+        END {
+            if (total == 0) {
+                print "coverage: no gcov data found"; exit 1
+            }
+            pct = 100.0 * covered / total
+            printf "src/obs line coverage: %.2f%% of %d lines\n", \
+                   pct, total
+            exit pct >= 90.0 ? 0 : 1
+        }'
+fi
