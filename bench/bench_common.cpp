@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/logging.hpp"
+#include "obs/json.hpp"
 #include "models/bigru_tagger.hpp"
 #include "models/bilstm_char_tagger.hpp"
 #include "models/bilstm_tagger.hpp"
@@ -211,16 +212,22 @@ ObsScope::~ObsScope()
 void
 printJsonResult(const BenchCli& cli, const std::string& bench,
                 const std::string& config, double sim_us,
-                double host_wall_ms)
+                double host_wall_ms, const JsonExtras& extras)
 {
     if (!cli.json)
         return;
-    std::cout << "{\"bench\":\"" << bench << "\",\"config\":\""
-              << config << "\",\"sim_us\":"
-              << common::Table::fmt(sim_us, 3)
+    // The schema every bench emits (see EXPERIMENTS.md): bench and
+    // config through the shared JSON escaper, so a hostile config
+    // string can never break a downstream parser.
+    std::cout << "{\"bench\":" << obs::jsonQuoted(bench)
+              << ",\"config\":" << obs::jsonQuoted(config)
+              << ",\"sim_us\":" << common::Table::fmt(sim_us, 3)
               << ",\"host_wall_ms\":"
-              << common::Table::fmt(host_wall_ms, 3) << "}\n"
-              << std::flush;
+              << common::Table::fmt(host_wall_ms, 3);
+    for (const auto& [key, value] : extras)
+        std::cout << ',' << obs::jsonQuoted(key) << ':'
+                  << common::Table::fmt(value, 3);
+    std::cout << "}\n" << std::flush;
 }
 
 } // namespace benchx

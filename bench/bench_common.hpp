@@ -159,15 +159,27 @@ class ObsScope
 };
 
 /**
- * When --json is on, print one machine-readable line:
- *   {"bench":"...","config":"...","sim_us":...,"host_wall_ms":...}
+ * Structured result fields appended to a bench JSON line as extra
+ * numeric keys. Booleans go in as 0/1. Results belong here, not
+ * inside the config string: config identifies the scenario, extras
+ * carry what it measured.
+ */
+using JsonExtras = std::vector<std::pair<std::string, double>>;
+
+/**
+ * When --json is on, print one machine-readable line following the
+ * common schema (documented in EXPERIMENTS.md):
+ *   {"bench":"...","config":"...","sim_us":...,"host_wall_ms":...,
+ *    <extras...>}
  * sim_us is the simulated wall time of the measurement and
  * host_wall_ms the host-side wall-clock it took to simulate -- the
- * perf-trajectory number future PRs track in BENCH_*.json.
+ * perf-trajectory number future PRs track in BENCH_*.json. Both
+ * string fields pass through the shared JSON escaper.
  */
 void printJsonResult(const BenchCli& cli, const std::string& bench,
                      const std::string& config, double sim_us,
-                     double host_wall_ms);
+                     double host_wall_ms,
+                     const JsonExtras& extras = {});
 
 /** Steady-clock stopwatch for host wall-clock reporting. */
 class WallTimer

@@ -85,7 +85,11 @@ main(int argc, char** argv)
         benchx::printJsonResult(
             cli, "robustness_recovery",
             "transient_rate=" + common::Table::fmt(rate, 2),
-            r.wall_us, timer.elapsedMs());
+            r.wall_us, timer.elapsedMs(),
+            {{"inputs_per_sec", r.inputs_per_sec},
+             {"recoveries",
+              static_cast<double>(rec.totalRecoveries())},
+             {"recovery_ms", rec.recovery_us / 1e3}});
     }
     if (!cli.json)
         benchx::printTable(
@@ -121,7 +125,13 @@ main(int argc, char** argv)
         benchx::printJsonResult(
             cli, "robustness_recovery",
             "checkpoint_every=" + std::to_string(every),
-            rep.throughput.wall_us, timer.elapsedMs());
+            rep.throughput.wall_us, timer.elapsedMs(),
+            {{"inputs_per_sec", rep.throughput.inputs_per_sec},
+             {"restores", static_cast<double>(rep.restores)},
+             {"replayed_batches",
+              static_cast<double>(rep.replayed_batches)},
+             {"checkpoints",
+              static_cast<double>(rep.checkpoints)}});
     }
     if (!cli.json)
         benchx::printTable(

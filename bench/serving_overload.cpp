@@ -137,16 +137,15 @@ main(int argc, char** argv)
              std::to_string(c.timed_out)});
         benchx::printJsonResult(
             cli, "serving_overload",
-            "load=" + common::Table::fmt(mult, 2) +
-                " goodput_per_sec=" +
-                common::Table::fmt(pt.goodput_per_sec, 1) +
-                " p99_us=" +
-                common::Table::fmt(pt.report.latency.p99_us, 1) +
-                " completed=" + std::to_string(c.completed) +
-                " shed=" + std::to_string(c.shed) + " rejected=" +
-                std::to_string(c.rejected_queue_full +
-                               c.rejected_infeasible),
-            pt.report.sim_end_us, timer.elapsedMs());
+            "load=" + common::Table::fmt(mult, 2),
+            pt.report.sim_end_us, timer.elapsedMs(),
+            {{"goodput_per_sec", pt.goodput_per_sec},
+             {"p99_us", pt.report.latency.p99_us},
+             {"completed", static_cast<double>(c.completed)},
+             {"shed", static_cast<double>(c.shed)},
+             {"rejected",
+              static_cast<double>(c.rejected_queue_full +
+                                  c.rejected_infeasible)}});
     }
     if (!cli.json)
         benchx::printTable(
@@ -163,12 +162,11 @@ main(int argc, char** argv)
         const auto& c = pt.report.counters;
         const bool ok = c.reconciled() && c.completed > 0;
         benchx::printJsonResult(
-            cli, "serving_overload",
-            std::string("soak_faults=0.15 completed=") +
-                std::to_string(c.completed) + " failed=" +
-                std::to_string(c.failed) + " reconciled=" +
-                (ok ? "true" : "false"),
-            pt.report.sim_end_us, timer.elapsedMs());
+            cli, "serving_overload", "soak_faults=0.15",
+            pt.report.sim_end_us, timer.elapsedMs(),
+            {{"completed", static_cast<double>(c.completed)},
+             {"failed", static_cast<double>(c.failed)},
+             {"reconciled", ok ? 1.0 : 0.0}});
         if (!cli.json)
             std::cout << "soak: " << (ok ? "PASS" : "FAIL")
                       << " (completed " << c.completed << ", failed "

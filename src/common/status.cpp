@@ -21,6 +21,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::NumericalFault: return "numerical_fault";
       case ErrorCode::RetryExhausted: return "retry_exhausted";
       case ErrorCode::InvalidArgument: return "invalid_argument";
+      case ErrorCode::DeviceLost: return "device_lost";
     }
     return "unknown";
 }

@@ -35,6 +35,7 @@ enum class ErrorCode : std::uint8_t
     NumericalFault,  //!< non-finite loss / corrupted readback
     RetryExhausted,  //!< a recovery budget was spent without success
     InvalidArgument, //!< a request or configuration failed validation
+    DeviceLost,      //!< the whole device wedged (no in-batch recovery)
 };
 
 /** @return a short stable name for an error category. */

@@ -4,6 +4,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -91,6 +92,24 @@ class Device
     /** Number of kernel launches so far. */
     std::uint64_t numLaunches() const { return launches_; }
 
+    /**
+     * Hot-disable @p count SMs (device-domain fault): every later
+     * launch sees the shrunken spec().num_sms, so grids sized for the
+     * full device no longer fit and the runtime must re-derive its
+     * DistributionPlan. At least one SM always survives.
+     */
+    void
+    disableSms(int count)
+    {
+        if (count <= 0)
+            return;
+        disabled_sms_ += count;
+        spec_.num_sms = std::max(1, spec_.num_sms - count);
+    }
+
+    /** SMs lost to disableSms() so far. */
+    int disabledSms() const { return disabled_sms_; }
+
     /** Reset time/launch/traffic statistics (not memory contents). */
     void resetStats();
 
@@ -161,6 +180,7 @@ class Device
     double busy_us_ = 0.0;
     double clock_us_ = 0.0;
     std::uint64_t launches_ = 0;
+    int disabled_sms_ = 0;
     bool functional_ = true;
     std::unique_ptr<FaultInjector> faults_;
     obs::Tracer* tracer_ = nullptr;          //!< borrowed, may be null

@@ -105,4 +105,41 @@ FaultInjector::corruptLossReadback()
     return true;
 }
 
+bool
+FaultInjector::deviceWedged(double now_us)
+{
+    if (plan_.wedge_at_us < 0.0 || now_us < plan_.wedge_at_us)
+        return false;
+    if (!wedge_logged_) {
+        wedge_logged_ = true;
+        ++log_.device_wedges;
+    }
+    return true;
+}
+
+double
+FaultInjector::stallPenaltyUs(double now_us)
+{
+    if (plan_.stall_at_us < 0.0 || plan_.stall_duration_us <= 0.0 ||
+        now_us < plan_.stall_at_us ||
+        now_us >= plan_.stall_at_us + plan_.stall_duration_us)
+        return 0.0;
+    if (!stall_logged_) {
+        stall_logged_ = true;
+        ++log_.device_stalls;
+    }
+    return plan_.stall_at_us + plan_.stall_duration_us - now_us;
+}
+
+int
+FaultInjector::smsToDisable(double now_us)
+{
+    if (sm_disable_applied_ || plan_.sm_disable_at_us < 0.0 ||
+        plan_.sm_disable_count <= 0 || now_us < plan_.sm_disable_at_us)
+        return 0;
+    sm_disable_applied_ = true;
+    ++log_.sm_disables;
+    return plan_.sm_disable_count;
+}
+
 } // namespace gpusim

@@ -61,6 +61,42 @@ struct FaultPlan
      */
     bool permanent_launch_faults = false;
 
+    /**
+     * @name Device-level fault domains
+     *
+     * Whole-device faults below the recovery ladder's floor: no
+     * in-batch rung can revive dead silicon, so these are the faults
+     * the replicated serving fleet (serve::Fleet) must absorb.
+     * Unlike the transient categories above they are *scheduled* on
+     * the device's monotonic wall clock (Device::clockUs(), the
+     * serving layer's time base), not drawn per query, so a fleet
+     * scenario can wedge exactly one replica at exactly one instant
+     * and stay bitwise deterministic at any host thread count.
+     * @{
+     */
+
+    /** Instant at which the device wedges permanently -- every batch
+     *  dispatched at or after it fails with DeviceLost; < 0 never. */
+    double wedge_at_us = -1.0;
+
+    /** Start of a transient whole-device stall (driver/interconnect
+     *  freeze); < 0 never. */
+    double stall_at_us = -1.0;
+
+    /** Stall length: a batch dispatched inside the window is delayed
+     *  until the stall clears, but completes intact. */
+    double stall_duration_us = 0.0;
+
+    /** Instant at which @ref sm_disable_count SMs are hot-disabled
+     *  (shrinking the VPP/CTA grid for every later launch); < 0
+     *  never. */
+    double sm_disable_at_us = -1.0;
+
+    /** SMs lost to the hot disable. */
+    int sm_disable_count = 0;
+
+    /** @} */
+
     /** Same rate for every transient category. */
     static FaultPlan uniform(double rate, std::uint64_t seed);
 
@@ -77,7 +113,14 @@ struct FaultPlan
         return script_ecc_rate > 0.0 || weight_ecc_rate > 0.0 ||
                launch_fail_rate > 0.0 || hang_rate > 0.0 ||
                alloc_fail_rate > 0.0 || loss_ecc_rate > 0.0 ||
-               permanent_launch_faults;
+               permanent_launch_faults || anyDeviceDomain();
+    }
+
+    bool
+    anyDeviceDomain() const
+    {
+        return wedge_at_us >= 0.0 || stall_at_us >= 0.0 ||
+               (sm_disable_at_us >= 0.0 && sm_disable_count > 0);
     }
 };
 
@@ -91,6 +134,15 @@ struct FaultLog
     std::uint64_t alloc_failures = 0;
     std::uint64_t loss_ecc = 0;
 
+    /** Device-domain events (scheduled, logged once each). */
+    std::uint64_t device_wedges = 0;
+    std::uint64_t device_stalls = 0;
+    std::uint64_t sm_disables = 0;
+
+    /** Transient per-batch faults the in-batch recovery ladder sees.
+     *  Device-domain events are excluded: they are absorbed one level
+     *  up (replica failover / plan re-derivation), and the existing
+     *  RecoveryStats <-> FaultLog reconciliation pairs only these. */
     std::uint64_t
     total() const
     {
@@ -141,10 +193,43 @@ class FaultInjector
     /** Is the loss readback corrupted? */
     bool corruptLossReadback();
 
+    /**
+     * @name Device-domain queries
+     *
+     * Keyed on the device's monotonic wall clock instead of the
+     * seeded stream: they never draw from the RNG, so installing a
+     * device-domain schedule on top of an existing transient plan
+     * leaves the transient fault sequence bit-for-bit unchanged.
+     * Each logs its category once, on first trigger.
+     * @{
+     */
+
+    /** Has the device wedged permanently as of @p now_us? */
+    bool deviceWedged(double now_us);
+
+    /**
+     * Extra delay (us) a batch dispatched at @p now_us suffers from a
+     * scheduled transient stall: the remainder of the stall window,
+     * or 0 outside it.
+     */
+    double stallPenaltyUs(double now_us);
+
+    /**
+     * SMs to hot-disable as of @p now_us. Non-zero exactly once (the
+     * first query at or after the scheduled instant); the caller
+     * applies the shrink via Device::disableSms.
+     */
+    int smsToDisable(double now_us);
+
+    /** @} */
+
   private:
     FaultPlan plan_;
     common::Rng rng_;
     FaultLog log_;
+    bool wedge_logged_ = false;
+    bool stall_logged_ = false;
+    bool sm_disable_applied_ = false;
 };
 
 } // namespace gpusim

@@ -1,9 +1,10 @@
 /** @file Trace Event Format (chrome://tracing / Perfetto) export. */
 #include "obs/chrome_trace.hpp"
 
-#include <cstdio>
 #include <fstream>
 #include <set>
+
+#include "obs/json.hpp"
 
 namespace obs {
 
@@ -14,36 +15,7 @@ constexpr int kPid = 1; //!< one simulated process
 void
 appendDouble(std::string& out, double v)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out += buf;
-}
-
-/** cat/name are static identifier strings; escape anyway. */
-void
-appendJsonString(std::string& out, const std::string& s)
-{
-    out += '"';
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
+    appendJsonDouble(out, v);
 }
 
 void

@@ -1,0 +1,66 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+
+namespace obs {
+
+void
+appendJsonString(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (const char c : s) {
+        const unsigned char b = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (b < 0x20 || b >= 0x7f) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(b));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string
+jsonQuoted(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    appendJsonString(out, s);
+    return out;
+}
+
+void
+appendJsonDouble(std::string& out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+} // namespace obs

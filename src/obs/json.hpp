@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared JSON string/number rendering for every exporter.
+ *
+ * The Chrome-trace and metrics exporters each grew a private escaper
+ * that handled quotes and low control characters but passed bytes >=
+ * 0x7f straight through -- so a hostile or merely non-ASCII metric
+ * name (an endpoint named from user input, a model tagged with UTF-8)
+ * could produce a byte stream that is not valid JSON in any encoding.
+ * This is the one escaper both use (json_escape_test round-trips
+ * hostile names through it and both exporters).
+ */
+#pragma once
+
+#include <string>
+
+namespace obs {
+
+/**
+ * Append @p s to @p out as a quoted JSON string. The output is pure
+ * ASCII and valid JSON for *every* input byte sequence: quotes,
+ * backslashes, and the short escapes get their two-character forms;
+ * all other control bytes (< 0x20) and every byte >= 0x7f (DEL and
+ * anything non-ASCII, treated as Latin-1) are written as \u00XX.
+ * Deterministic byte-for-byte, like every exporter output.
+ */
+void appendJsonString(std::string& out, const std::string& s);
+
+/** @return @p s rendered as a quoted JSON string (see above). */
+std::string jsonQuoted(const std::string& s);
+
+/**
+ * Append @p v in round-trip-exact "%.17g" form (shared by the trace
+ * text format and both JSON exporters so dumps re-read by tooling
+ * reconstruct the exact doubles).
+ */
+void appendJsonDouble(std::string& out, double v);
+
+} // namespace obs

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/json.hpp"
+
 namespace obs {
 
 namespace {
@@ -15,43 +17,7 @@ namespace {
 void
 appendDouble(std::string& out, double v)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out += buf;
-}
-
-/** Metric names are dotted identifiers; escape defensively anyway so
- *  the export is always valid JSON. */
-void
-appendJsonString(std::string& out, const std::string& s)
-{
-    out += '"';
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
+    appendJsonDouble(out, v);
 }
 
 } // namespace

@@ -64,7 +64,12 @@ laneName(std::int32_t lane)
         return "recovery";
       case kLaneServe:
         return "serve";
+      case kLaneFleet:
+        return "fleet";
       default:
+        if (lane >= kLaneReplicaBase)
+            return "replica " + std::to_string(lane -
+                                               kLaneReplicaBase);
         return "vpp " + std::to_string(lane);
     }
 }

@@ -1,0 +1,726 @@
+/** @file Replicated failover serving: the fleet event loop. */
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "graph/expr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "train/checkpoint_io.hpp"
+#include "train/harness.hpp"
+
+namespace serve {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+const char*
+replicaStateName(ReplicaState s)
+{
+    switch (s) {
+    case ReplicaState::Active:
+        return "active";
+    case ReplicaState::Standby:
+        return "standby";
+    case ReplicaState::Joining:
+        return "joining";
+    case ReplicaState::Dead:
+        return "dead";
+    }
+    return "?";
+}
+
+Fleet::Fleet(std::vector<FleetReplica> replicas, FleetConfig cfg,
+             obs::Tracer* tracer, obs::MetricsRegistry* metrics)
+    : cfg_(std::move(cfg)), admission_(cfg_.admission),
+      // max_batch 1, window 0: requests route individually and
+      // immediately, which is what makes responses bitwise
+      // comparable across replicas.
+      queue_(BatchPolicy{1, 0.0, 1.0}),
+      health_(cfg_.health, replicas.size(), 0.0), tracer_(tracer),
+      metrics_(metrics)
+{
+    if (replicas.empty())
+        common::panic("Fleet: need at least one replica");
+    slots_.reserve(replicas.size());
+    std::size_t first_active = kNpos;
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+        FleetReplica& r = replicas[i];
+        if (r.device == nullptr || r.bm == nullptr)
+            common::panic("Fleet: replica '", r.name,
+                          "' missing device or model");
+        Slot sl;
+        sl.r = r;
+        sl.breaker = CircuitBreaker(cfg_.breaker);
+        sl.state = r.handle != nullptr ? ReplicaState::Active
+                                       : ReplicaState::Standby;
+        if (sl.state == ReplicaState::Active && first_active == kNpos)
+            first_active = i;
+        slots_.push_back(std::move(sl));
+    }
+    if (first_active == kNpos)
+        common::panic("Fleet: need at least one active replica "
+                      "(all slots are standby)");
+    was_suspect_.assign(slots_.size(), false);
+
+    Slot& lead = slots_[first_active];
+    // Analytic prior for admission: nodes in one input's graph.
+    {
+        graph::ComputationGraph cg;
+        lead.r.bm->buildLoss(cg, 0);
+        nodes_per_item_ =
+            std::max<double>(1.0, static_cast<double>(cg.size()));
+    }
+    // The standby replication source: the lead replica's parameters,
+    // serialized through the checkpoint wire format. Replicas are
+    // expected to be constructed with identical seeds, so one blob
+    // replicates the whole fleet.
+    ckpt_blob_ = train::serializeCheckpoint(
+        train::captureCheckpoint(lead.r.bm->model(), *lead.r.device, 0));
+    svc_cache_ =
+        lead.r.handle->estimateBatchUs(1, nodes_per_item_);
+
+    for (const Slot& sl : slots_)
+        if (sl.state == ReplicaState::Active)
+            now_ = std::max(now_, sl.r.device->clockUs());
+    health_ = HealthMonitor(cfg_.health, slots_.size(), now_);
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+        if (slots_[i].state != ReplicaState::Active)
+            health_.disable(i);
+}
+
+void
+Fleet::count(const char* name, std::uint64_t n)
+{
+    if (metrics_ != nullptr)
+        metrics_->counter(name).add(n);
+}
+
+void
+Fleet::fleetInstant(const char* name, std::uint64_t req_id, double a0,
+                    double a1)
+{
+    if (tracer_ != nullptr)
+        tracer_->instant(obs::kLaneFleet, "fleet", name, now_,
+                         static_cast<std::int64_t>(req_id), a0, a1);
+}
+
+vpps::Handle*
+Fleet::handleOf(Slot& sl)
+{
+    return sl.owned ? sl.owned.get() : sl.r.handle;
+}
+
+double
+Fleet::serviceUs()
+{
+    for (Slot& sl : slots_) {
+        if (sl.state != ReplicaState::Active)
+            continue;
+        svc_cache_ =
+            handleOf(sl)->estimateBatchUs(1, nodes_per_item_);
+        break;
+    }
+    return svc_cache_;
+}
+
+double
+Fleet::earliestFreeUs() const
+{
+    double t = kInf;
+    for (const Slot& sl : slots_) {
+        if (sl.state != ReplicaState::Active)
+            continue;
+        const double free =
+            sl.inflight ? sl.inflight->done_at_us : now_;
+        t = std::min(t, free);
+    }
+    return t;
+}
+
+std::size_t
+Fleet::liveReplicas() const
+{
+    std::size_t n = 0;
+    for (const Slot& sl : slots_)
+        if (sl.state == ReplicaState::Active)
+            ++n;
+    return n;
+}
+
+void
+Fleet::onArrival(const Request& req)
+{
+    const std::size_t depth = queue_.depth();
+    const BrownoutLevel level = admission_.levelFor(depth);
+
+    ++counters_.arrivals;
+    count("fleet.arrivals");
+
+    // Earliest start: the first live replica to free up, plus the
+    // backlog spread across the live fleet.
+    const std::size_t live = liveReplicas();
+    const double svc = serviceUs();
+    double est_start = std::max(now_, earliestFreeUs());
+    if (live > 0)
+        est_start += static_cast<double>(depth) * svc /
+                     static_cast<double>(live);
+    const double est_service = svc;
+
+    auto decided = [&](const char* name, const char* metric) {
+        fleetInstant(name, req.id, static_cast<double>(level),
+                     static_cast<double>(depth));
+        count(metric);
+    };
+
+    switch (admission_.decide(req, depth, est_start, est_service)) {
+    case AdmissionController::Decision::Admit:
+        ++counters_.admitted;
+        if (req.cls == RequestClass::High) {
+            ++counters_.admitted_high;
+            count("fleet.admitted_high");
+        }
+        decided("admit", "fleet.admitted");
+        queue_.enqueue(Queued{req, 0, now_});
+        return;
+    case AdmissionController::Decision::RejectQueueFull:
+        ++counters_.rejected_queue_full;
+        decided("reject_queue_full", "fleet.rejected_queue_full");
+        return;
+    case AdmissionController::Decision::RejectInfeasible:
+        ++counters_.rejected_infeasible;
+        decided("reject_infeasible", "fleet.rejected_infeasible");
+        return;
+    case AdmissionController::Decision::Shed:
+        ++counters_.shed;
+        decided("shed", "fleet.shed");
+        return;
+    }
+}
+
+std::size_t
+Fleet::chooseReplica(double now_us, std::size_t exclude)
+{
+    const std::size_t n = slots_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = (rr_next_ + k) % n;
+        Slot& sl = slots_[i];
+        if (i == exclude || sl.state != ReplicaState::Active ||
+            sl.inflight)
+            continue;
+        if (health_.suspect(i, now_us))
+            continue;
+        // The breaker gate last: usePrimary() mutates (Open ->
+        // HalfOpen probe), so only the otherwise-chosen replica is
+        // asked.
+        const CircuitBreaker::State before = sl.breaker.state();
+        const bool allow = sl.breaker.usePrimary(now_us);
+        if (sl.breaker.state() != before && tracer_ != nullptr)
+            tracer_->instant(
+                obs::kLaneReplicaBase + static_cast<std::int32_t>(i),
+                "breaker", breakerStateName(sl.breaker.state()),
+                now_us, static_cast<std::int64_t>(i),
+                static_cast<double>(before));
+        if (!allow)
+            continue;
+        rr_next_ = (i + 1) % n;
+        return i;
+    }
+    return kNpos;
+}
+
+void
+Fleet::execute(std::size_t s, Queued q, bool as_hedge)
+{
+    Slot& sl = slots_[s];
+    vpps::Handle* const h = handleOf(sl);
+    sl.r.device->advanceClockTo(now_);
+
+    ++counters_.routed;
+    count("fleet.routed");
+    ++sl.dispatches;
+    fleetInstant(as_hedge          ? "hedge"
+                 : q.attempts > 0 ? "failover_route"
+                                  : "route",
+                 q.req.id, static_cast<double>(s),
+                 static_cast<double>(q.attempts));
+
+    graph::ComputationGraph cg;
+    auto loss = sl.r.bm->buildLoss(cg, q.req.input_index);
+    const double wall_before = h->stats().wall_us;
+    const double busy_before = sl.r.device->busyUs();
+    auto r = h->inferTry(sl.r.bm->model(), cg, loss);
+    // Simulated dispatch duration: pipelined wall time on success,
+    // device time burned by the failed attempt otherwise. A stall
+    // penalty is charged to the device clock, not the pipeline
+    // makespan, so occupancy is the max of the two -- otherwise a
+    // stalled dispatch would look fast and its hedge timer could
+    // never fire. Clamped so completion strictly follows dispatch.
+    const double busy_delta = sl.r.device->busyUs() - busy_before;
+    double dur = r.ok() ? std::max(h->stats().wall_us - wall_before,
+                                   busy_delta)
+                        : busy_delta;
+    if (dur < 1.0)
+        dur = 1.0;
+
+    InFlight fl;
+    fl.q = q;
+    fl.is_hedge = as_hedge;
+    fl.ok = r.ok();
+    fl.err = r.ok() ? common::ErrorCode::Ok : r.status().code();
+    fl.response = r.ok() ? r.value() : 0.0f;
+    fl.done_at_us = now_ + dur;
+    if (!as_hedge && q.req.cls == RequestClass::High &&
+        cfg_.hedge_delay_us >= 0.0)
+        fl.hedge_at_us = now_ + cfg_.hedge_delay_us;
+    sl.inflight = fl;
+
+    if (tracer_ != nullptr)
+        tracer_->complete(
+            obs::kLaneReplicaBase + static_cast<std::int32_t>(s),
+            "fleet", as_hedge ? "hedge_dispatch" : "dispatch", now_,
+            dur, static_cast<std::int64_t>(q.req.id),
+            r.ok() ? 1.0 : 0.0);
+}
+
+void
+Fleet::finalizeRequest(const Queued& q, Outcome outcome)
+{
+    const bool high = q.req.cls == RequestClass::High;
+    switch (outcome) {
+    case Outcome::Completed:
+        ++counters_.completed;
+        count("fleet.completed");
+        if (high) {
+            ++counters_.completed_high;
+            count("fleet.completed_high");
+        }
+        fleetInstant("complete", q.req.id);
+        break;
+    case Outcome::TimedOut:
+        ++counters_.timed_out;
+        count("fleet.timed_out");
+        if (high) {
+            ++counters_.timed_out_high;
+            count("fleet.timed_out_high");
+        }
+        fleetInstant("timeout", q.req.id);
+        break;
+    default:
+        ++counters_.failed;
+        count("fleet.failed");
+        if (high) {
+            ++counters_.failed_high;
+            count("fleet.failed_high");
+        }
+        fleetInstant("fail", q.req.id);
+        break;
+    }
+}
+
+std::size_t
+Fleet::twinOf(std::uint64_t id, std::size_t self) const
+{
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (i == self)
+            continue;
+        if (slots_[i].inflight && slots_[i].inflight->q.req.id == id)
+            return i;
+    }
+    return kNpos;
+}
+
+void
+Fleet::completeOn(std::size_t s)
+{
+    Slot& sl = slots_[s];
+    const InFlight fl = *sl.inflight;
+    sl.inflight.reset();
+    const std::uint64_t id = fl.q.req.id;
+    const std::size_t twin = twinOf(id, s);
+
+    if (auto it = finalized_pending_.find(id);
+        it != finalized_pending_.end()) {
+        // The request's other dispatch already won; this one is the
+        // cancelled hedge loser regardless of its own outcome.
+        finalized_pending_.erase(it);
+        ++counters_.hedge_cancelled;
+        count("fleet.hedge_cancelled");
+        fleetInstant("hedge_cancel", id, static_cast<double>(s));
+    } else if (fl.ok && fl.done_at_us <= fl.q.req.deadline_us) {
+        finalizeRequest(fl.q, Outcome::Completed);
+        responses_.emplace_back(id, fl.response);
+        const double latency = fl.done_at_us - fl.q.req.arrival_us;
+        latencies_.push_back(latency);
+        if (metrics_ != nullptr)
+            metrics_->histogram("fleet.latency_us").observe(latency);
+        if (twin != kNpos)
+            finalized_pending_.insert(id);
+    } else if (fl.ok) {
+        // Completed past the deadline: the work is wasted either
+        // way. A still-running twin was in flight at an instant
+        // already past the deadline, so it must finish late too --
+        // the request is definitively timed out; mark it finalized
+        // so the twin's completion books as a cancelled hedge.
+        ++counters_.lost;
+        count("fleet.lost");
+        fleetInstant("lost", id, static_cast<double>(s));
+        finalizeRequest(fl.q, Outcome::TimedOut);
+        if (twin != kNpos)
+            finalized_pending_.insert(id);
+    } else if (twin != kNpos) {
+        // Failed, but the request's hedge twin is still running; the
+        // twin carries the request from here.
+        ++counters_.lost;
+        count("fleet.lost");
+        fleetInstant("lost", id, static_cast<double>(s));
+    } else {
+        const int budget = fl.q.req.cls == RequestClass::High
+                               ? cfg_.max_failovers_high
+                               : cfg_.max_failovers_low;
+        bool routable = false;
+        for (const Slot& other : slots_)
+            if (&other != &sl &&
+                (other.state == ReplicaState::Active ||
+                 other.state == ReplicaState::Joining))
+                routable = true;
+        if (fl.q.attempts < budget && fl.q.req.deadline_us > now_ &&
+            routable) {
+            ++counters_.failed_over;
+            count("fleet.failed_over");
+            Queued again = fl.q;
+            ++again.attempts;
+            again.enqueue_us = now_;
+            queue_.enqueueFront(std::move(again));
+            fleetInstant("failover", id, static_cast<double>(s),
+                         static_cast<double>(fl.q.attempts + 1));
+        } else {
+            ++counters_.lost;
+            count("fleet.lost");
+            fleetInstant("lost", id, static_cast<double>(s));
+            finalizeRequest(fl.q, fl.q.req.deadline_us <= now_
+                                      ? Outcome::TimedOut
+                                      : Outcome::Failed);
+        }
+    }
+
+    if (sl.state == ReplicaState::Active) {
+        if (fl.ok) {
+            sl.breaker.onPrimarySuccess();
+        } else {
+            ++sl.failures;
+            const CircuitBreaker::State before = sl.breaker.state();
+            sl.breaker.onPrimaryFailure(now_);
+            if (sl.breaker.state() != before && tracer_ != nullptr)
+                tracer_->instant(obs::kLaneReplicaBase +
+                                     static_cast<std::int32_t>(s),
+                                 "breaker",
+                                 breakerStateName(sl.breaker.state()),
+                                 now_, static_cast<std::int64_t>(s),
+                                 static_cast<double>(before));
+        }
+    }
+    if (fl.err == common::ErrorCode::DeviceLost)
+        onDeviceLost(s);
+}
+
+void
+Fleet::onDeviceLost(std::size_t s)
+{
+    Slot& sl = slots_[s];
+    if (sl.state != ReplicaState::Active)
+        return; // already confirmed through the other path
+    sl.state = ReplicaState::Dead;
+    ++counters_.device_losses;
+    count("fleet.device_losses");
+    health_.disable(s);
+    fleetInstant("replica_dead", 0, static_cast<double>(s));
+    common::warn("Fleet: replica '", sl.r.name,
+                 "' lost (device wedged); ", liveReplicas(),
+                 " still live");
+    promoteStandby();
+}
+
+void
+Fleet::promoteStandby()
+{
+    std::size_t idx = kNpos;
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+        if (slots_[i].state == ReplicaState::Standby) {
+            idx = i;
+            break;
+        }
+    if (idx == kNpos)
+        return;
+    Slot& sl = slots_[idx];
+    sl.r.device->advanceClockTo(now_);
+    // Parameter replication first, then the re-JIT; the handle build
+    // is the expensive part and its modeled compile time (plus the
+    // configured provisioning delay) gates the join instant.
+    if (auto st = train::restoreCheckpointBlob(
+            ckpt_blob_, sl.r.bm->model(), *sl.r.device);
+        !st.ok()) {
+        sl.state = ReplicaState::Dead;
+        common::warn("Fleet: standby '", sl.r.name,
+                     "' restore failed: ", st.toString());
+        return;
+    }
+    auto hr = vpps::Handle::tryCreate(sl.r.bm->model(), *sl.r.device,
+                                      cfg_.standby_opts);
+    if (!hr.ok()) {
+        sl.state = ReplicaState::Dead;
+        common::warn("Fleet: standby '", sl.r.name,
+                     "' rebuild failed: ", hr.status().toString());
+        return;
+    }
+    sl.owned = std::move(hr.value());
+    const double delay = std::max(
+        1.0, sl.owned->jitSeconds() * 1e6 + cfg_.standby_extra_delay_us);
+    sl.join_at_us = now_ + delay;
+    sl.state = ReplicaState::Joining;
+    fleetInstant("standby_promote", 0, static_cast<double>(idx),
+                 delay);
+}
+
+void
+Fleet::joinReplica(std::size_t s)
+{
+    Slot& sl = slots_[s];
+    sl.r.device->advanceClockTo(now_);
+    sl.state = ReplicaState::Active;
+    sl.breaker = CircuitBreaker(cfg_.breaker);
+    health_.reset(s, now_);
+    was_suspect_[s] = false;
+    ++counters_.standby_joins;
+    count("fleet.standby_joins");
+    fleetInstant("replica_join", 0, static_cast<double>(s));
+    common::inform("Fleet: standby '", sl.r.name,
+                   "' joined the rotation");
+}
+
+void
+Fleet::processProbe(std::size_t r)
+{
+    Slot& sl = slots_[r];
+    ++counters_.probes;
+    count("fleet.probes");
+    bool alive = sl.state == ReplicaState::Active;
+    bool wedged = false;
+    if (alive) {
+        if (gpusim::FaultInjector* inj = sl.r.device->faults()) {
+            if (inj->deviceWedged(now_)) {
+                alive = false;
+                wedged = true;
+            } else if (inj->stallPenaltyUs(now_) > 0.0) {
+                alive = false; // stalled: silent, but not dead
+            }
+        }
+    }
+    health_.recordProbe(r, now_, alive);
+    const bool sus =
+        sl.state == ReplicaState::Active && health_.suspect(r, now_);
+    if (sus && !was_suspect_[r]) {
+        ++counters_.suspicions;
+        count("fleet.suspicions");
+        fleetInstant("replica_suspect", 0, static_cast<double>(r),
+                     health_.detector(r).phi(now_));
+    }
+    was_suspect_[r] = sus;
+    if (wedged)
+        onDeviceLost(r);
+}
+
+void
+Fleet::expireQueued()
+{
+    for (const Queued& dead : queue_.expire(now_)) {
+        finalizeRequest(dead, Outcome::TimedOut);
+        ++counters_.expired_in_queue;
+        count("fleet.expired_in_queue");
+    }
+}
+
+void
+Fleet::drainUnroutable()
+{
+    // No live replica, none joining: every queued request gets its
+    // final disposition now instead of hanging forever.
+    expireQueued();
+    while (!queue_.empty()) {
+        for (const Queued& q : queue_.form(now_)) {
+            finalizeRequest(q, q.req.deadline_us <= now_
+                                   ? Outcome::TimedOut
+                                   : Outcome::Failed);
+            ++counters_.drained_no_replica;
+            count("fleet.drained_no_replica");
+        }
+    }
+}
+
+void
+Fleet::run(const std::vector<Request>& arrivals)
+{
+    std::size_t next = 0;
+    bool dispatch_stalled = false;
+    while (true) {
+        bool inflight_any = false;
+        bool joining_any = false;
+        for (const Slot& sl : slots_) {
+            inflight_any = inflight_any || sl.inflight.has_value();
+            joining_any =
+                joining_any || sl.state == ReplicaState::Joining;
+        }
+        if (next >= arrivals.size() && queue_.empty() &&
+            !inflight_any && !joining_any)
+            break;
+
+        // Candidate events in a fixed tie order: completion, standby
+        // join, health probe, arrival, hedge launch, dispatch.
+        enum
+        {
+            kNone,
+            kComplete,
+            kJoin,
+            kProbe,
+            kArrive,
+            kHedge,
+            kDispatch
+        };
+        int kind = kNone;
+        std::size_t slot = kNpos;
+        double when = kInf;
+        auto consider = [&](int k, double t, std::size_t s) {
+            if (t < when) {
+                kind = k;
+                when = t;
+                slot = s;
+            }
+        };
+
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (slots_[i].inflight)
+                consider(kComplete, slots_[i].inflight->done_at_us,
+                         i);
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (slots_[i].state == ReplicaState::Joining)
+                consider(kJoin, slots_[i].join_at_us, i);
+        if (const double p = health_.nextProbeUs(); p < kInf)
+            consider(kProbe, p, health_.nextProbeReplica());
+        if (next < arrivals.size())
+            consider(kArrive, arrivals[next].arrival_us, kNpos);
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            const auto& fl = slots_[i].inflight;
+            if (fl && !fl->is_hedge && !fl->hedged &&
+                fl->hedge_at_us >= 0.0)
+                consider(kHedge, fl->hedge_at_us, i);
+        }
+        if (!dispatch_stalled && !queue_.empty()) {
+            const double r = queue_.readyAt(
+                admission_.levelFor(queue_.depth()), 0.0);
+            if (r >= 0.0)
+                consider(kDispatch, std::max(r, now_), kNpos);
+        }
+
+        if (kind == kNone) {
+            // Unreachable work: queued requests but no replica can
+            // ever take them (fleet dead) and nothing else pending.
+            if (!queue_.empty())
+                drainUnroutable();
+            break;
+        }
+
+        now_ = std::max(now_, when);
+        switch (kind) {
+        case kComplete:
+            completeOn(slot);
+            dispatch_stalled = false;
+            break;
+        case kJoin:
+            joinReplica(slot);
+            dispatch_stalled = false;
+            break;
+        case kProbe:
+            processProbe(slot);
+            dispatch_stalled = false;
+            break;
+        case kArrive:
+            onArrival(arrivals[next++]);
+            dispatch_stalled = false;
+            break;
+        case kHedge: {
+            Slot& sl = slots_[slot];
+            const std::size_t target = chooseReplica(now_, slot);
+            if (target != kNpos) {
+                sl.inflight->hedged = true; // one shot once launched
+                ++counters_.hedges;
+                count("fleet.hedges");
+                execute(target, sl.inflight->q, true);
+            } else {
+                // No spare capacity right now; re-arm to the next
+                // completion on another replica rather than forfeit.
+                // The hedge event outranks queued dispatch at equal
+                // times, so the hedge -- launched for an older
+                // request -- claims the freed slot ahead of the
+                // queue. Completion retires this slot's hedge
+                // candidate and the step is strictly positive, so
+                // this terminates.
+                double next = now_ + std::max(1.0, cfg_.hedge_delay_us);
+                for (std::size_t i = 0; i < slots_.size(); ++i) {
+                    const Slot& o = slots_[i];
+                    if (i == slot || o.state != ReplicaState::Active ||
+                        !o.inflight)
+                        continue;
+                    next = std::min(next, o.inflight->done_at_us);
+                }
+                sl.inflight->hedge_at_us = std::max(next, now_ + 1.0);
+            }
+            break;
+        }
+        case kDispatch: {
+            expireQueued();
+            std::vector<Queued> items = queue_.form(now_);
+            if (items.empty())
+                break; // everything expired this round
+            const std::size_t target = chooseReplica(now_, kNpos);
+            if (target == kNpos) {
+                // Nothing routable right now; put the request back
+                // and stall dispatch until another event (probe,
+                // completion, join) changes the routing picture.
+                queue_.enqueueFront(std::move(items.front()));
+                dispatch_stalled = true;
+                break;
+            }
+            execute(target, std::move(items.front()), false);
+            break;
+        }
+        default:
+            break;
+        }
+    }
+}
+
+FleetReport
+Fleet::report() const
+{
+    FleetReport rep;
+    rep.counters = counters_;
+    rep.latency = latencyStats(latencies_);
+    rep.replicas.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot& sl = slots_[i];
+        rep.replicas.push_back(ReplicaReport{
+            sl.r.name, sl.state, sl.dispatches, sl.failures,
+            sl.breaker.trips(),
+            health_.detector(i).phi(now_)});
+    }
+    rep.sim_end_us = now_;
+    return rep;
+}
+
+} // namespace serve

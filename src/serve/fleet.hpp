@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Replicated failover serving over a fleet of simulated GPUs.
+ *
+ * serve::Server made one device overload-tolerant; a wedged device
+ * is still fatal to it. The Fleet runs N replica handles over
+ * *independent* Device instances behind a router, so the whole-device
+ * fault domains (permanent wedge, transient stall, hot SM disable)
+ * become survivable events:
+ *
+ *  - seeded health probes feed a phi-accrual suspicion level per
+ *    replica (serve/health.hpp); suspected replicas stop receiving
+ *    traffic before a request has to die to prove the device did;
+ *  - requests route individually (no cross-request batching), so a
+ *    completed response is a pure function of (input, parameters)
+ *    and bitwise comparable across replicas, runs, and thread counts;
+ *  - a failed dispatch fails over: the request re-enqueues at the
+ *    front and routes to a different replica, within its class's
+ *    failover budget and deadline;
+ *  - optionally, High-class requests still in flight after
+ *    hedge_delay_us get a hedged duplicate on a second replica; the
+ *    first completion wins and the loser is cancelled;
+ *  - each replica has its own PR-3 CircuitBreaker: repeated failures
+ *    quarantine the replica (router skips it) until a cooldown probe
+ *    succeeds;
+ *  - a confirmed device loss promotes a warm standby: parameters are
+ *    restored from the fleet's serialized checkpoint blob (the PR-2
+ *    checkpoint path) and the handle is re-JITted, so post-failover
+ *    inference is bitwise identical to the lost replica's.
+ *
+ * Dispatch accounting reconciles by construction: every routed
+ * dispatch ends in exactly one of {completed, failed_over,
+ * hedge_cancelled, lost}, alongside the request-level identities
+ * inherited from the Server. The headline invariant (fleet_failover
+ * tests): with R >= 2 replicas and any single-device loss mid-load,
+ * no admitted High-class request is lost, and all completed
+ * responses are bitwise identical to the no-fault run, at 1 and 8
+ * host threads.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/benchmark_model.hpp"
+#include "serve/admission.hpp"
+#include "serve/batcher.hpp"
+#include "serve/circuit_breaker.hpp"
+#include "serve/health.hpp"
+#include "serve/request.hpp"
+#include "vpps/handle.hpp"
+
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+} // namespace obs
+
+namespace serve {
+
+/**
+ * One replica slot, caller-supplied and borrowed. Active replicas
+ * come with a live handle (build it with async = false and
+ * degrade_on_failure = false, like Server endpoints); a null handle
+ * marks a warm-standby slot -- a device and model held in reserve
+ * whose handle the fleet builds (checkpoint restore + re-JIT) when
+ * promoting it after a device loss.
+ */
+struct FleetReplica
+{
+    std::string name;
+    gpusim::Device* device = nullptr;
+    models::BenchmarkModel* bm = nullptr;
+    vpps::Handle* handle = nullptr; //!< null => warm standby
+};
+
+struct FleetConfig
+{
+    AdmissionConfig admission;
+    BreakerConfig breaker;
+    HealthConfig health;
+
+    /** Failover budget: re-dispatches after a failed dispatch. */
+    int max_failovers_high = 2;
+    int max_failovers_low = 0;
+
+    /** Hedge delay for High-class requests (duplicate dispatch on a
+     *  second replica once the primary has been in flight this
+     *  long); negative disables hedging. One hedge per request. */
+    double hedge_delay_us = -1.0;
+
+    /** Extra simulated delay added to a promoted standby's re-JIT
+     *  time before it joins the rotation. */
+    double standby_extra_delay_us = 0.0;
+
+    /** Handle options for standby rebuilds (use the same options the
+     *  active replicas' handles were built with). */
+    vpps::VppsOptions standby_opts;
+};
+
+/**
+ * Fleet accounting. Request-level identities mirror ServerCounters;
+ * the dispatch-level identity is the fleet's own:
+ *
+ *   arrivals = admitted + rejected_queue_full + rejected_infeasible
+ *            + shed
+ *   admitted = completed + timed_out + failed
+ *   routed   = completed + failed_over + hedge_cancelled + lost
+ *
+ * (each completed request has exactly one winning dispatch, so
+ * `completed` serves both identities). Every field mirrors into the
+ * metrics registry under "fleet.<field>" one-for-one.
+ */
+struct FleetCounters
+{
+    /** @name Request dispositions @{ */
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_infeasible = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t failed = 0;
+    /** @} */
+
+    /** @name High-class slice (the no-lost-High invariant) @{ */
+    std::uint64_t admitted_high = 0;
+    std::uint64_t completed_high = 0;
+    std::uint64_t timed_out_high = 0;
+    std::uint64_t failed_high = 0;
+    /** @} */
+
+    /** @name Dispatch dispositions @{ */
+    std::uint64_t routed = 0;
+    std::uint64_t failed_over = 0;
+    std::uint64_t hedge_cancelled = 0;
+    std::uint64_t lost = 0;
+    /** @} */
+
+    /** @name Diagnostics (not part of the identities) @{ */
+    std::uint64_t hedges = 0;       //!< hedge dispatches issued
+    std::uint64_t probes = 0;       //!< health probes executed
+    std::uint64_t suspicions = 0;   //!< phi rising edges past threshold
+    std::uint64_t device_losses = 0;//!< replicas confirmed wedged
+    std::uint64_t standby_joins = 0;//!< standbys promoted into rotation
+    std::uint64_t expired_in_queue = 0; //!< subset of timed_out
+    std::uint64_t drained_no_replica = 0; //!< finalized with fleet dead
+    /** @} */
+
+    /** All three identities at once (no silent drops, no dispatch
+     *  leaks). */
+    bool
+    reconciled() const
+    {
+        return arrivals == admitted + rejected_queue_full +
+                               rejected_infeasible + shed &&
+               admitted == completed + timed_out + failed &&
+               routed ==
+                   completed + failed_over + hedge_cancelled + lost &&
+               admitted_high ==
+                   completed_high + timed_out_high + failed_high;
+    }
+};
+
+/** Replica lifecycle, reported and traced. */
+enum class ReplicaState : std::uint8_t
+{
+    Active,  //!< in rotation
+    Standby, //!< warm reserve, no handle yet
+    Joining, //!< promoted, rebuilding (restore + re-JIT)
+    Dead,    //!< confirmed device loss (or failed promotion)
+};
+
+/** @return a short stable name for a replica state. */
+const char* replicaStateName(ReplicaState s);
+
+struct ReplicaReport
+{
+    std::string name;
+    ReplicaState state = ReplicaState::Active;
+    std::uint64_t dispatches = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t breaker_trips = 0;
+    double phi = 0.0; //!< suspicion at end of run
+};
+
+struct FleetReport
+{
+    FleetCounters counters;
+    LatencyStats latency;
+    std::vector<ReplicaReport> replicas;
+    double sim_end_us = 0.0;
+};
+
+class Fleet
+{
+public:
+    /**
+     * Borrow @p replicas (at least one active). @p tracer /
+     * @p metrics are optional observability sinks for the fleet's
+     * own lanes and "fleet.*" counters; install them on the replica
+     * devices too if per-device detail is wanted. A serialized
+     * checkpoint of the first active replica's parameters is
+     * captured here as the standby replication source.
+     */
+    Fleet(std::vector<FleetReplica> replicas, FleetConfig cfg = {},
+          obs::Tracer* tracer = nullptr,
+          obs::MetricsRegistry* metrics = nullptr);
+
+    /**
+     * Serve @p arrivals (sorted by arrival_us; Request::endpoint is
+     * ignored -- the fleet serves one model) to completion. May be
+     * called repeatedly; clock, health, and breaker state carry
+     * over.
+     */
+    void run(const std::vector<Request>& arrivals);
+
+    FleetReport report() const;
+
+    const FleetCounters& counters() const { return counters_; }
+
+    /** (request id, response value) for every completed request, in
+     *  completion order. The bitwise-determinism probe: identical
+     *  across host thread counts, and identical per id between a
+     *  faulty run and its fault-free twin. */
+    const std::vector<std::pair<std::uint64_t, float>>&
+    responses() const
+    {
+        return responses_;
+    }
+
+    /** Completed-request latencies in completion order. */
+    const std::vector<double>& latencies() const
+    {
+        return latencies_;
+    }
+
+    double nowUs() const { return now_; }
+
+    std::size_t liveReplicas() const;
+
+    ReplicaState replicaState(std::size_t r) const
+    {
+        return slots_[r].state;
+    }
+
+    const CircuitBreaker& breaker(std::size_t r) const
+    {
+        return slots_[r].breaker;
+    }
+
+private:
+    struct InFlight
+    {
+        Queued q;
+        bool is_hedge = false;
+        bool hedged = false;     //!< a hedge copy was launched
+        bool ok = false;
+        common::ErrorCode err = common::ErrorCode::Ok;
+        float response = 0.0f;
+        double done_at_us = 0.0;
+        double hedge_at_us = -1.0; //!< < 0: no hedge scheduled
+    };
+
+    struct Slot
+    {
+        FleetReplica r;
+        std::unique_ptr<vpps::Handle> owned; //!< standby rebuilds
+        CircuitBreaker breaker;
+        ReplicaState state = ReplicaState::Active;
+        std::optional<InFlight> inflight;
+        double join_at_us = 0.0;
+        std::uint64_t dispatches = 0;
+        std::uint64_t failures = 0;
+    };
+
+    void count(const char* name, std::uint64_t n = 1);
+    void fleetInstant(const char* name, std::uint64_t req_id,
+                      double a0 = 0.0, double a1 = 0.0);
+
+    /** The slot's serving handle (fleet-owned for promoted
+     *  standbys, borrowed otherwise). */
+    vpps::Handle* handleOf(Slot& sl);
+
+    /** Per-request service estimate from the first live replica
+     *  (cached value when none is live). Non-const: refreshes the
+     *  cache. */
+    double serviceUs();
+    double earliestFreeUs() const;
+
+    void onArrival(const Request& req);
+
+    /** Route-eligible test + breaker gate (mutates the breaker on
+     *  Open->HalfOpen). @return chosen slot or npos. */
+    std::size_t chooseReplica(double now_us, std::size_t exclude);
+
+    /** Execute one request on slot @p s (the simulated work happens
+     *  here; the completion event fires at done_at_us). */
+    void execute(std::size_t s, Queued q, bool as_hedge);
+
+    void completeOn(std::size_t s);
+    void finalizeRequest(const Queued& q, Outcome outcome);
+    void onDeviceLost(std::size_t s);
+    void promoteStandby();
+    void joinReplica(std::size_t s);
+    void processProbe(std::size_t r);
+    void expireQueued();
+    void drainUnroutable();
+
+    /** Twin dispatch of request @p id in flight on a slot other than
+     *  @p self, or npos. */
+    std::size_t twinOf(std::uint64_t id, std::size_t self) const;
+
+    std::vector<Slot> slots_;
+    FleetConfig cfg_;
+    AdmissionController admission_;
+    Batcher queue_; //!< max_batch = 1: individual-request routing
+    HealthMonitor health_;
+    obs::Tracer* tracer_ = nullptr;
+    obs::MetricsRegistry* metrics_ = nullptr;
+
+    std::vector<std::uint8_t> ckpt_blob_; //!< replication source
+    double nodes_per_item_ = 1.0;
+    double svc_cache_ = 1'000.0; //!< last good service estimate
+
+    FleetCounters counters_;
+    std::vector<std::pair<std::uint64_t, float>> responses_;
+    std::vector<double> latencies_;
+
+    /** Requests finalized while a twin dispatch was still in flight;
+     *  the twin resolves to hedge_cancelled and erases its entry. */
+    std::set<std::uint64_t> finalized_pending_;
+
+    std::vector<bool> was_suspect_; //!< per-slot phi edge detector
+    std::size_t rr_next_ = 0;       //!< round-robin routing cursor
+    double now_ = 0.0;
+};
+
+} // namespace serve

@@ -1,0 +1,126 @@
+/** @file Phi-accrual failure detection for the replica fleet. */
+#include "serve/health.hpp"
+
+#include <limits>
+
+namespace serve {
+
+namespace {
+
+/** log10(e): converts elapsed/mean (nats under the exponential
+ *  model) into decimal orders of suspicion. */
+constexpr double kLog10E = 0.43429448190325176;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+PhiAccrualDetector::PhiAccrualDetector(const HealthConfig& cfg,
+                                       double now_us)
+    : cfg_(cfg), last_us_(now_us)
+{
+    gaps_.reserve(static_cast<std::size_t>(cfg.window));
+}
+
+void
+PhiAccrualDetector::heartbeat(double now_us)
+{
+    const double gap = now_us - last_us_;
+    if (gap > 0.0) {
+        if (gaps_.size() <
+            static_cast<std::size_t>(cfg_.window)) {
+            gaps_.push_back(gap);
+        } else {
+            gaps_[next_gap_] = gap;
+            next_gap_ = (next_gap_ + 1) % gaps_.size();
+        }
+    }
+    last_us_ = now_us;
+}
+
+double
+PhiAccrualDetector::meanGapUs() const
+{
+    if (gaps_.empty())
+        return cfg_.probe_interval_us;
+    double sum = 0.0;
+    for (const double g : gaps_)
+        sum += g;
+    return sum / static_cast<double>(gaps_.size());
+}
+
+double
+PhiAccrualDetector::phi(double now_us) const
+{
+    const double elapsed = now_us - last_us_;
+    if (elapsed <= 0.0)
+        return 0.0;
+    return elapsed / meanGapUs() * kLog10E;
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& cfg,
+                             std::size_t replicas, double now_us)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    detectors_.reserve(replicas);
+    next_probe_us_.reserve(replicas);
+    for (std::size_t r = 0; r < replicas; ++r) {
+        detectors_.emplace_back(cfg_, now_us);
+        next_probe_us_.push_back(now_us + jitteredInterval());
+    }
+}
+
+double
+HealthMonitor::jitteredInterval()
+{
+    const double f =
+        1.0 + cfg_.jitter_frac * (2.0 * rng_.nextDouble() - 1.0);
+    return cfg_.probe_interval_us * f;
+}
+
+double
+HealthMonitor::nextProbeUs() const
+{
+    double t = kInf;
+    for (const double p : next_probe_us_)
+        if (p < t)
+            t = p;
+    return t;
+}
+
+std::size_t
+HealthMonitor::nextProbeReplica() const
+{
+    std::size_t best = 0;
+    double t = kInf;
+    for (std::size_t r = 0; r < next_probe_us_.size(); ++r) {
+        if (next_probe_us_[r] < t) {
+            t = next_probe_us_[r];
+            best = r;
+        }
+    }
+    return best;
+}
+
+void
+HealthMonitor::recordProbe(std::size_t r, double now_us, bool alive)
+{
+    if (alive)
+        detectors_[r].heartbeat(now_us);
+    next_probe_us_[r] = now_us + jitteredInterval();
+}
+
+void
+HealthMonitor::disable(std::size_t r)
+{
+    next_probe_us_[r] = kInf;
+}
+
+void
+HealthMonitor::reset(std::size_t r, double now_us)
+{
+    detectors_[r] = PhiAccrualDetector(cfg_, now_us);
+    next_probe_us_[r] = now_us + jitteredInterval();
+}
+
+} // namespace serve

@@ -1,0 +1,158 @@
+#include "train/checkpoint_io.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace train {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'V', 'P', 'C', 'K'};
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kDigestBytes = 8;
+
+std::uint64_t
+fnv1a64(const std::uint8_t* data, std::size_t size)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+putU32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putF32(std::vector<std::uint8_t>& out, float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU32(out, bits);
+}
+
+std::uint32_t
+getU32(const std::uint8_t* p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+float
+getF32(const std::uint8_t* p)
+{
+    const std::uint32_t bits = getU32(p);
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+common::Status
+malformed(std::string message)
+{
+    return common::Status::failure(common::ErrorCode::InvalidArgument,
+                                   "checkpoint blob: " +
+                                       std::move(message));
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeCheckpoint(const TrainCheckpoint& ckpt)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderBytes + 4 * ckpt.params.size() + kDigestBytes);
+    out.insert(out.end(), kMagic, kMagic + 4);
+    putU32(out, kCheckpointVersion);
+    putU64(out, static_cast<std::uint64_t>(ckpt.next_input));
+    putF32(out, ckpt.learning_rate);
+    putF32(out, ckpt.weight_decay);
+    putU64(out, static_cast<std::uint64_t>(ckpt.params.size()));
+    for (const float v : ckpt.params)
+        putF32(out, v);
+    putU64(out, fnv1a64(out.data(), out.size()));
+    return out;
+}
+
+common::Result<TrainCheckpoint>
+deserializeCheckpoint(const std::uint8_t* data, std::size_t size)
+{
+    // Every check runs before any payload is copied out, in layout
+    // order, so the first corrupted field names itself.
+    if (data == nullptr && size != 0)
+        return malformed("null buffer with non-zero size");
+    if (size < kHeaderBytes + kDigestBytes)
+        return malformed(common::detail::concat(
+            "truncated: ", size, " bytes < minimum ",
+            kHeaderBytes + kDigestBytes));
+    if (std::memcmp(data, kMagic, 4) != 0)
+        return malformed("bad magic (not a checkpoint)");
+    const std::uint32_t version = getU32(data + 4);
+    if (version != kCheckpointVersion)
+        return malformed(common::detail::concat(
+            "unsupported version ", version, " (expected ",
+            kCheckpointVersion, ")"));
+    const std::uint64_t count = getU64(data + 24);
+    // Guard the count against both overflow and disagreement with the
+    // actual buffer length before trusting it as a loop bound.
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(size) - kHeaderBytes - kDigestBytes;
+    if (count > payload / 4 || count * 4 != payload)
+        return malformed(common::detail::concat(
+            "param count ", count, " disagrees with payload of ",
+            payload, " bytes"));
+    const std::uint64_t stored =
+        getU64(data + size - kDigestBytes);
+    const std::uint64_t computed =
+        fnv1a64(data, size - kDigestBytes);
+    if (stored != computed)
+        return malformed(common::detail::concat(
+            "digest mismatch (stored ", stored, ", computed ",
+            computed, "); blob is corrupted"));
+
+    TrainCheckpoint ckpt;
+    ckpt.next_input = static_cast<std::size_t>(getU64(data + 8));
+    ckpt.learning_rate = getF32(data + 16);
+    ckpt.weight_decay = getF32(data + 20);
+    ckpt.params.resize(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i)
+        ckpt.params[i] = getF32(data + kHeaderBytes + 4 * i);
+    return ckpt;
+}
+
+common::Status
+restoreCheckpointBlob(const std::vector<std::uint8_t>& blob,
+                      graph::Model& model, gpusim::Device& device)
+{
+    auto ckpt = deserializeCheckpoint(blob);
+    if (!ckpt.ok())
+        return ckpt.takeStatus();
+    return restoreCheckpoint(ckpt.value(), model, device);
+}
+
+} // namespace train

@@ -227,6 +227,70 @@ Handle::degrade(graph::Model& model)
     return true;
 }
 
+common::Status
+Handle::rederiveAfterShrink(graph::Model& model)
+{
+    ++stats_.recovery.plan_rederivations;
+    double rejit_s = 0.0;
+
+    VppsOptions fopts = opts_;
+    fopts.cache_gradients = false;
+    fopts.ctas_per_sm = 0;
+
+    if (fallback_kernel_) {
+        auto k = tryObtainKernel(model, device_, fopts,
+                                 fallback_kernel_->plan.rpw());
+        if (!k.ok())
+            return k.takeStatus();
+        fallback_kernel_ = std::move(k).value();
+        rejit_s += fallback_kernel_->prog_compile_s +
+                   fallback_kernel_->module_load_s;
+    } else {
+        // Rebuild only the specialization currently routed to and pin
+        // it: the other candidates' plans are stale against the
+        // shrunken spec, and profile measurements taken on the full
+        // device no longer apply.
+        const int rpw =
+            forced_rpw_ > 0
+                ? forced_rpw_
+                : (tuner_ ? tuner_->candidate() : opts_.rpw);
+        auto k = tryObtainKernel(model, device_, opts_, rpw);
+        if (!k.ok())
+            return k.takeStatus();
+        kernels_.clear();
+        auto [it, inserted] = kernels_.emplace(rpw,
+                                               std::move(k).value());
+        (void)inserted;
+        rejit_s +=
+            it->second.prog_compile_s + it->second.module_load_s;
+        tuner_.reset();
+        forced_rpw_ = rpw;
+    }
+
+    // The breaker's pre-JITted fallback must stay launchable (the
+    // serving layer routes to it without re-checking), so it is
+    // re-derived under the same shrink.
+    if (prepared_fallback_) {
+        auto k = tryObtainKernel(model, device_, fopts,
+                                 prepared_fallback_->plan.rpw());
+        if (!k.ok())
+            return k.takeStatus();
+        prepared_fallback_ = std::move(k).value();
+        rejit_s += prepared_fallback_->prog_compile_s +
+                   prepared_fallback_->module_load_s;
+    }
+
+    jit_seconds_ += rejit_s;
+    const double rejit_us = rejit_s * 1e6;
+    device_.chargeTime(rejit_us);
+    stats_.recovery.recovery_us += rejit_us;
+    common::inform("vpps::Handle: re-derived distribution plan after "
+                   "SM disable (",
+                   device_.spec().num_sms, " SMs remain, ", rejit_s,
+                   " s re-JIT)");
+    return common::Status();
+}
+
 void
 Handle::captureParamSnapshot(const graph::Model& model)
 {
@@ -348,6 +412,41 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
         if (metrics)
             metrics->counter(std::string("recovery.") + name).add();
     };
+
+    // Device-domain faults are checked once per batch, before the
+    // attempt loop: no in-batch rung can recover a wedged device, a
+    // stall delays the whole dispatch exactly once, and an SM disable
+    // invalidates every derived plan -- none of which may be
+    // re-charged on recovery replays. The queries are keyed on the
+    // wall clock and never draw from the injector's stream, so
+    // layering a device-domain schedule over a transient plan leaves
+    // the transient fault sequence untouched.
+    if (inj) {
+        const double now = device_.clockUs();
+        if (inj->deviceWedged(now)) {
+            rung("device_lost");
+            return Status::failure(
+                ErrorCode::DeviceLost,
+                "device wedged; no in-batch recovery possible");
+        }
+        if (const double stall = inj->stallPenaltyUs(now);
+            stall > 0.0) {
+            ++rec.stall_delays;
+            rung("device_stall", stall);
+            device_.chargeTime(stall);
+            device_.advanceClockTo(now + stall);
+            rec.recovery_us += stall;
+        }
+        if (const int sms = inj->smsToDisable(now); sms > 0) {
+            rung("sm_disable", static_cast<double>(sms));
+            device_.disableSms(sms);
+            if (auto st = rederiveAfterShrink(model); !st.ok()) {
+                mem.resetTo(mark);
+                return st;
+            }
+            rung("plan_rederive");
+        }
+    }
 
     // Host-time components accumulate across recovery replays: a
     // rolled-back batch regenerates its script, and that host work --

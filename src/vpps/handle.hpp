@@ -72,6 +72,20 @@ struct RecoveryStats
     /** Kernel degradations (rpw switch or GEMM-fallback adoption). */
     std::uint64_t degradations = 0;
 
+    /**
+     * @name Device-domain recovery (excluded from totalRecoveries():
+     * these pair with FaultLog's device-domain categories, which the
+     * transient total() pairing likewise excludes)
+     * @{ */
+
+    /** DistributionPlan re-derivations after a hot SM disable. */
+    std::uint64_t plan_rederivations = 0;
+
+    /** Batches delayed by a transient whole-device stall. */
+    std::uint64_t stall_delays = 0;
+
+    /** @} */
+
     /** Simulated time spent on wasted attempts, retransmits, and
      *  backoff, us (a subset of the stats' gpu/transfer time). */
     double recovery_us = 0.0;
@@ -267,6 +281,15 @@ class Handle
 
     /** Restore the last captured snapshot (rollback). */
     void restoreParamSnapshot(const graph::Model& model);
+
+    /**
+     * Re-derive every live DistributionPlan against the (shrunken)
+     * current device spec after a hot SM disable: re-JITs the kernel
+     * currently routed to (plus the prepared breaker fallback, if
+     * any) and pins it, discarding stale plans and the tuner. The
+     * re-JIT cost is charged as simulated time.
+     */
+    common::Status rederiveAfterShrink(graph::Model& model);
 
     gpusim::Device& device_;
     gpusim::HostSpec host_;

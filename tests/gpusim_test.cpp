@@ -3,6 +3,7 @@
 
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/faults.hpp"
 #include "gpusim/persistent_sim.hpp"
 
 namespace {
@@ -195,6 +196,113 @@ TEST(HostSpec, WorkingSetFactorGrowsPastThreshold)
     EXPECT_GT(f1, 1.0);
     EXPECT_NEAR(f2 - f1, 2.0 * host.cache_degradation_per_doubling,
                 1e-9);
+}
+
+TEST(FaultDomains, WedgeTriggersAtScheduledInstantAndLogsOnce)
+{
+    gpusim::FaultPlan plan;
+    plan.wedge_at_us = 100.0;
+    gpusim::FaultInjector inj(plan);
+    EXPECT_FALSE(inj.deviceWedged(0.0));
+    EXPECT_FALSE(inj.deviceWedged(99.9));
+    EXPECT_EQ(inj.injected().device_wedges, 0u);
+    EXPECT_TRUE(inj.deviceWedged(100.0));
+    EXPECT_TRUE(inj.deviceWedged(5000.0));
+    EXPECT_EQ(inj.injected().device_wedges, 1u)
+        << "a permanent wedge is one event, not one per query";
+}
+
+TEST(FaultDomains, StallPenaltyIsRemainderOfWindow)
+{
+    gpusim::FaultPlan plan;
+    plan.stall_at_us = 50.0;
+    plan.stall_duration_us = 30.0;
+    gpusim::FaultInjector inj(plan);
+    EXPECT_DOUBLE_EQ(inj.stallPenaltyUs(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(inj.stallPenaltyUs(50.0), 30.0);
+    EXPECT_DOUBLE_EQ(inj.stallPenaltyUs(70.0), 10.0);
+    EXPECT_DOUBLE_EQ(inj.stallPenaltyUs(80.0), 0.0)
+        << "the window end is exclusive";
+    EXPECT_EQ(inj.injected().device_stalls, 1u)
+        << "one scheduled stall logs once across all queries";
+}
+
+TEST(FaultDomains, SmDisableFiresExactlyOnce)
+{
+    gpusim::FaultPlan plan;
+    plan.sm_disable_at_us = 10.0;
+    plan.sm_disable_count = 8;
+    gpusim::FaultInjector inj(plan);
+    EXPECT_EQ(inj.smsToDisable(9.0), 0);
+    EXPECT_EQ(inj.smsToDisable(10.0), 8);
+    EXPECT_EQ(inj.smsToDisable(11.0), 0)
+        << "the caller applies the shrink once; later queries no-op";
+    EXPECT_EQ(inj.injected().sm_disables, 1u);
+}
+
+TEST(FaultDomains, QueriesNeverDisturbTransientStream)
+{
+    // The same transient plan, with and without a layered
+    // device-domain schedule, must produce the identical fault
+    // sequence: device-domain queries are clock-keyed and draw
+    // nothing from the RNG stream.
+    gpusim::FaultPlan base;
+    base.seed = 42;
+    base.launch_fail_rate = 0.3;
+    gpusim::FaultPlan layered = base;
+    layered.wedge_at_us = 1e9;
+    layered.stall_at_us = 5.0;
+    layered.stall_duration_us = 2.0;
+    layered.sm_disable_at_us = 7.0;
+    layered.sm_disable_count = 2;
+
+    gpusim::FaultInjector a(base), b(layered);
+    for (int i = 0; i < 200; ++i) {
+        const double now = static_cast<double>(i);
+        (void)b.deviceWedged(now);
+        (void)b.stallPenaltyUs(now);
+        (void)b.smsToDisable(now);
+        EXPECT_EQ(a.failLaunch(true), b.failLaunch(true))
+            << "transient draw " << i
+            << " diverged under a device-domain schedule";
+    }
+}
+
+TEST(FaultDomains, DeviceDomainEventsExcludedFromTransientTotal)
+{
+    gpusim::FaultPlan plan;
+    plan.wedge_at_us = 0.0;
+    plan.stall_at_us = 0.0;
+    plan.stall_duration_us = 1.0;
+    plan.sm_disable_at_us = 0.0;
+    plan.sm_disable_count = 1;
+    EXPECT_TRUE(plan.anyDeviceDomain());
+    EXPECT_TRUE(plan.any());
+    gpusim::FaultInjector inj(plan);
+    (void)inj.deviceWedged(1.0);
+    (void)inj.stallPenaltyUs(0.5);
+    (void)inj.smsToDisable(1.0);
+    EXPECT_EQ(inj.injected().device_wedges, 1u);
+    EXPECT_EQ(inj.injected().device_stalls, 1u);
+    EXPECT_EQ(inj.injected().sm_disables, 1u);
+    EXPECT_EQ(inj.injected().total(), 0u)
+        << "the in-batch recovery reconciliation pairs only "
+           "transient categories";
+}
+
+TEST(Device, DisableSmsShrinksSpecWithFloorOfOne)
+{
+    gpusim::Device device(DeviceSpec{}, 256);
+    const int before = device.spec().num_sms;
+    device.disableSms(before / 2);
+    EXPECT_EQ(device.spec().num_sms, before - before / 2);
+    EXPECT_EQ(device.disabledSms(), before / 2);
+    device.disableSms(10 * before);
+    EXPECT_EQ(device.spec().num_sms, 1)
+        << "a device never shrinks below one SM";
+    device.disableSms(0);
+    device.disableSms(-3);
+    EXPECT_EQ(device.spec().num_sms, 1);
 }
 
 TEST(Device, FunctionalToggleControlsZeroFill)

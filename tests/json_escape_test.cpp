@@ -1,0 +1,181 @@
+/**
+ * @file
+ * JSON-escaping audit for the observability exporters. Names that
+ * reach the Chrome-trace and metrics JSON come from configuration
+ * the runtime does not control (endpoint names, replica names,
+ * model tags), so the shared escaper must turn *any* byte sequence
+ * -- embedded quotes, backslashes, control characters, DEL, and
+ * non-ASCII bytes -- into pure-ASCII, structurally valid JSON. A
+ * minimal JSON scanner below checks structural validity without
+ * pulling in a parser dependency.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+/** Hostile name corpus: every escaping class represented. */
+std::vector<std::string>
+hostileNames()
+{
+    std::vector<std::string> names = {
+        "plain",
+        "with \"quotes\" inside",
+        "back\\slash\\path",
+        "newline\nand\rreturn",
+        "tab\tand\ffeed\band bell\x07",
+        std::string("embedded\0nul", 12),
+        "del\x7f char",
+        "latin1 caf\xe9",
+        "utf8 caf\xc3\xa9 \xe2\x82\xac",
+        "all controls: \x01\x02\x03\x1e\x1f",
+        "</script><!--injection-->",
+    };
+    std::string every_byte;
+    for (int b = 1; b < 256; ++b)
+        every_byte.push_back(static_cast<char>(b));
+    names.push_back(every_byte);
+    return names;
+}
+
+/**
+ * Structural check of one JSON string literal starting at s[i]
+ * (which must be '"'). @return the index just past the closing
+ * quote, or npos on malformed content.
+ */
+std::size_t
+scanJsonString(const std::string& s, std::size_t i)
+{
+    if (i >= s.size() || s[i] != '"')
+        return std::string::npos;
+    ++i;
+    while (i < s.size()) {
+        const unsigned char c = static_cast<unsigned char>(s[i]);
+        if (c == '"')
+            return i + 1;
+        if (c < 0x20 || c >= 0x7f)
+            return std::string::npos; // raw control or non-ASCII
+        if (c == '\\') {
+            if (i + 1 >= s.size())
+                return std::string::npos;
+            const char e = s[i + 1];
+            if (e == 'u') {
+                if (i + 5 >= s.size())
+                    return std::string::npos;
+                for (int k = 2; k <= 5; ++k)
+                    if (!isxdigit(
+                            static_cast<unsigned char>(s[i + k])))
+                        return std::string::npos;
+                i += 6;
+                continue;
+            }
+            if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                e != 'f' && e != 'n' && e != 'r' && e != 't')
+                return std::string::npos;
+            i += 2;
+            continue;
+        }
+        ++i;
+    }
+    return std::string::npos; // unterminated
+}
+
+/** Whole-document audit: every string literal well-formed, every
+ *  byte outside string literals plain ASCII, braces balanced. */
+void
+expectStructurallyValidJson(const std::string& doc,
+                            const std::string& what)
+{
+    long depth = 0;
+    std::size_t i = 0;
+    while (i < doc.size()) {
+        const unsigned char c = static_cast<unsigned char>(doc[i]);
+        if (c == '"') {
+            const std::size_t end = scanJsonString(doc, i);
+            ASSERT_NE(end, std::string::npos)
+                << what << ": malformed string literal at byte " << i;
+            i = end;
+            continue;
+        }
+        ASSERT_LT(c, 0x7fu)
+            << what << ": non-ASCII byte outside a string at " << i;
+        ASSERT_TRUE(c >= 0x20 || c == '\n' || c == '\r' || c == '\t')
+            << what << ": control byte outside a string at " << i;
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0) << what << ": unbalanced at byte " << i;
+        ++i;
+    }
+    EXPECT_EQ(depth, 0) << what << ": unbalanced document";
+}
+
+TEST(JsonEscape, QuotedOutputIsAlwaysValidAndPureAscii)
+{
+    for (const std::string& name : hostileNames()) {
+        const std::string q = obs::jsonQuoted(name);
+        EXPECT_EQ(scanJsonString(q, 0), q.size())
+            << "escaper produced a malformed literal";
+    }
+}
+
+TEST(JsonEscape, ShortEscapesAndUnicodeForms)
+{
+    EXPECT_EQ(obs::jsonQuoted("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(obs::jsonQuoted("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(obs::jsonQuoted("\n\r\t\b\f"),
+              "\"\\n\\r\\t\\b\\f\"");
+    EXPECT_EQ(obs::jsonQuoted(std::string("\x00", 1)), "\"\\u0000\"");
+    EXPECT_EQ(obs::jsonQuoted("\x1f"), "\"\\u001f\"");
+    EXPECT_EQ(obs::jsonQuoted("\x7f"), "\"\\u007f\"");
+    EXPECT_EQ(obs::jsonQuoted("\xe9"), "\"\\u00e9\"")
+        << "bytes >= 0x80 are escaped as Latin-1 code points";
+}
+
+TEST(JsonEscape, EscapingIsDeterministic)
+{
+    for (const std::string& name : hostileNames())
+        EXPECT_EQ(obs::jsonQuoted(name), obs::jsonQuoted(name));
+}
+
+TEST(JsonEscape, ChromeTraceSurvivesHostileNames)
+{
+    obs::Tracer tracer;
+    const auto names = hostileNames();
+    double ts = 1.0;
+    for (const std::string& name : names) {
+        tracer.instant(obs::kLaneHost, name.c_str(), name.c_str(),
+                       ts, 7);
+        tracer.complete(obs::kLaneFleet, "fleet", name.c_str(),
+                        ts + 1.0, 2.0, 8);
+        ts += 10.0;
+    }
+    const std::string doc = chromeTraceJson(tracer);
+    expectStructurallyValidJson(doc, "chrome trace");
+
+    // The canonical text rendering must also survive (it is the
+    // bitwise-comparison medium for the determinism tests).
+    const std::string text = tracer.canonicalText();
+    EXPECT_FALSE(text.empty());
+}
+
+TEST(JsonEscape, MetricsRegistrySurvivesHostileNames)
+{
+    obs::MetricsRegistry mx;
+    for (const std::string& name : hostileNames()) {
+        mx.counter("counter." + name).add(3);
+        mx.gauge("gauge." + name).add(1.5);
+        mx.histogram("hist." + name).observe(2.0);
+    }
+    expectStructurallyValidJson(mx.json(), "metrics registry");
+}
+
+} // namespace

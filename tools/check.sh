@@ -17,8 +17,9 @@
 # through decode, so any out-of-bounds dereference a validation gap
 # would permit becomes a hard failure here. The pass finishes with
 # the serving-overload soak (offered load 2x capacity AND a 15%
-# transient fault rate): the bench exits nonzero unless the server
-# survives with fully reconciled request accounting.
+# transient fault rate) and the fleet-failover soak (a wedged replica
+# AND a 10% transient rate on a survivor): both benches exit nonzero
+# unless the server survives with fully reconciled request accounting.
 #
 # A fourth pass rebuilds with gcov instrumentation (-DVPPS_COVERAGE)
 # and gates line coverage of the observability layer (src/obs): the
@@ -26,11 +27,21 @@
 # the trace/metrics suites. Uses gcovr when available, else falls
 # back to parsing gcov itself.
 #
-# Usage: tools/check.sh [build-dir]   (default: build-tsan; the ASan
-#        pass uses <build-dir>-asan, the coverage pass <build-dir>-cov)
+# Usage: tools/check.sh [--tier1] [build-dir]
+#        (default build-dir: build-tsan; the ASan pass uses
+#        <build-dir>-asan, the coverage pass <build-dir>-cov)
+#
+# --tier1 is the quick pre-commit mode: configure and build the TSan
+# tree once, run only the tier1-labelled tests, and skip the fault
+# soak, the ASan rebuild, the bench soaks, and the coverage gate.
 set -eu
 
 cd "$(dirname "$0")/.."
+TIER1_ONLY=0
+if [ "${1:-}" = "--tier1" ]; then
+    TIER1_ONLY=1
+    shift
+fi
 BUILD_DIR="${1:-build-tsan}"
 ASAN_DIR="${BUILD_DIR}-asan"
 COV_DIR="${BUILD_DIR}-cov"
@@ -41,6 +52,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 VPPS_HOST_THREADS=8 ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -L tier1
+
+if [ "$TIER1_ONLY" = 1 ]; then
+    echo "== --tier1: quick mode done, skipping soak/ASan/coverage =="
+    exit 0
+fi
 
 echo "== fault-injection soak (VPPS_FAULT_RATE=0.02, seed 7) =="
 VPPS_HOST_THREADS=8 VPPS_FAULT_SEED=7 VPPS_FAULT_RATE=0.02 \
@@ -56,6 +72,9 @@ ctest --test-dir "$ASAN_DIR" --output-on-failure \
 
 echo "== serving-overload soak (2x capacity, fault rate 0.15) =="
 "$ASAN_DIR"/bench/serving_overload --faults
+
+echo "== fleet-failover soak (device loss + fault rate 0.10) =="
+"$ASAN_DIR"/bench/fleet_failover --faults
 
 echo "== observability coverage gate (src/obs >= 90% lines) =="
 cmake -B "$COV_DIR" -S . -DVPPS_COVERAGE=ON \
