@@ -158,11 +158,13 @@ parseBenchArgs(int argc, char** argv)
         } else if (valueOf(arg, "--trace", i, cli.trace_path) ||
                    valueOf(arg, "--metrics", i, cli.metrics_path)) {
             // handled by valueOf
+        } else if (valueOf(arg, "--out", i, cli.out_path)) {
+            cli.json = true; // the file collects the JSON lines
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--threads N] [--json] [--functional]"
                          " [--vpps-only] [--trace FILE]"
-                         " [--metrics FILE]\n";
+                         " [--metrics FILE] [--out FILE]\n";
             std::exit(2);
         }
     }
@@ -209,6 +211,26 @@ ObsScope::~ObsScope()
     }
 }
 
+namespace {
+
+/** JSONL accumulated for --out, atomically rewritten after every
+ *  line so an interrupted bench never leaves a truncated file. */
+std::string g_json_out_path;
+std::string g_json_out_lines;
+
+void
+flushJsonOutFile()
+{
+    if (g_json_out_path.empty())
+        return;
+    if (auto st = obs::writeTextFileAtomic(g_json_out_path,
+                                           g_json_out_lines);
+        !st.ok())
+        common::warn("bench: ", st.toString());
+}
+
+} // namespace
+
 void
 printJsonResult(const BenchCli& cli, const std::string& bench,
                 const std::string& config, double sim_us,
@@ -219,15 +241,25 @@ printJsonResult(const BenchCli& cli, const std::string& bench,
     // The schema every bench emits (see EXPERIMENTS.md): bench and
     // config through the shared JSON escaper, so a hostile config
     // string can never break a downstream parser.
-    std::cout << "{\"bench\":" << obs::jsonQuoted(bench)
-              << ",\"config\":" << obs::jsonQuoted(config)
-              << ",\"sim_us\":" << common::Table::fmt(sim_us, 3)
-              << ",\"host_wall_ms\":"
-              << common::Table::fmt(host_wall_ms, 3);
+    std::string line;
+    line += "{\"bench\":" + obs::jsonQuoted(bench);
+    line += ",\"config\":" + obs::jsonQuoted(config);
+    line += ",\"sim_us\":" + common::Table::fmt(sim_us, 3);
+    line += ",\"host_wall_ms\":" +
+            common::Table::fmt(host_wall_ms, 3);
     for (const auto& [key, value] : extras)
-        std::cout << ',' << obs::jsonQuoted(key) << ':'
-                  << common::Table::fmt(value, 3);
-    std::cout << "}\n" << std::flush;
+        line += ',' + obs::jsonQuoted(key) + ':' +
+                common::Table::fmt(value, 3);
+    line += "}\n";
+    std::cout << line << std::flush;
+    if (!cli.out_path.empty()) {
+        // Rewrite the file after every line rather than only at
+        // process exit: a long sweep killed halfway still leaves a
+        // complete (if shorter) JSONL file, never a torn one.
+        g_json_out_path = cli.out_path;
+        g_json_out_lines += line;
+        flushJsonOutFile();
+    }
 }
 
 } // namespace benchx

@@ -116,6 +116,12 @@ void printTable(const std::string& title, const common::Table& table);
  *                  F (open in chrome://tracing or ui.perfetto.dev);
  *                  --trace=F also accepted
  *   --metrics F    write the metrics-registry JSON dump to F
+ *   --out F        also collect the JSON result lines into F,
+ *                  atomically rewritten (temp-write + rename) after
+ *                  every line; implies --json. A killed or crashed
+ *                  bench can therefore never leave a truncated
+ *                  BENCH_*.json -- the file is either absent, a
+ *                  complete prefix of the lines, or the complete run
  */
 struct BenchCli
 {
@@ -125,6 +131,7 @@ struct BenchCli
     bool vpps_only = false;
     std::string trace_path;   //!< empty = tracing off
     std::string metrics_path; //!< empty = no metrics dump
+    std::string out_path;     //!< empty = stdout only
 };
 
 /** Parse the shared bench flags; exits with usage on unknown args. */

@@ -22,6 +22,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::RetryExhausted: return "retry_exhausted";
       case ErrorCode::InvalidArgument: return "invalid_argument";
       case ErrorCode::DeviceLost: return "device_lost";
+      case ErrorCode::ShortWrite: return "short_write";
+      case ErrorCode::DataLoss: return "data_loss";
+      case ErrorCode::Unavailable: return "unavailable";
     }
     return "unknown";
 }

@@ -36,7 +36,18 @@ enum class ErrorCode : std::uint8_t
     RetryExhausted,  //!< a recovery budget was spent without success
     InvalidArgument, //!< a request or configuration failed validation
     DeviceLost,      //!< the whole device wedged (no in-batch recovery)
+    ShortWrite,      //!< a stable-store sync persisted only a prefix
+    DataLoss,        //!< durable bytes failed digest/size validation
+    Unavailable,     //!< the backing service is down (host crash)
 };
+
+/**
+ * Number of ErrorCode values. Keep in lock-step with the enum: the
+ * status exhaustiveness test walks [0, kNumErrorCodes) and asserts
+ * every code stringifies to a distinct non-"unknown" name, so adding
+ * a code without bumping this (or naming it) fails tier-1.
+ */
+inline constexpr std::uint8_t kNumErrorCodes = 15;
 
 /** @return a short stable name for an error category. */
 const char* errorCodeName(ErrorCode code);

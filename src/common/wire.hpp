@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Little-endian wire-format primitives shared by every on-"disk"
+ * format in the tree (checkpoint blobs, the durable WAL, generation
+ * manifests, fleet checkpoints).
+ *
+ * All formats follow the same discipline: explicit little-endian
+ * integers with no padding, floats carried as their IEEE-754 bit
+ * patterns (so serialization is bitwise lossless), and a trailing
+ * FNV-1a 64 digest over everything before it. Centralizing the
+ * byte-level helpers keeps the encoders and the validating decoders
+ * bit-for-bit consistent with each other.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace common {
+
+/** FNV-1a 64-bit digest of @p size bytes at @p data. */
+inline std::uint64_t
+fnv1a64(const std::uint8_t* data, std::size_t size)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnv1a64(const std::vector<std::uint8_t>& bytes)
+{
+    return fnv1a64(bytes.data(), bytes.size());
+}
+
+/** @name Append little-endian values to a byte vector. @{ */
+inline void
+putU32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putU64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putF32(std::vector<std::uint8_t>& out, float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU32(out, bits);
+}
+
+inline void
+putF64(std::vector<std::uint8_t>& out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU64(out, bits);
+}
+/** @} */
+
+/** @name Read little-endian values from raw bytes. @{ */
+inline std::uint32_t
+getU32(const std::uint8_t* p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline std::uint64_t
+getU64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline float
+getF32(const std::uint8_t* p)
+{
+    const std::uint32_t bits = getU32(p);
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+inline double
+getF64(const std::uint8_t* p)
+{
+    const std::uint64_t bits = getU64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+/** @} */
+
+} // namespace common

@@ -1,0 +1,121 @@
+#include "durable/wal.hpp"
+
+#include "common/wire.hpp"
+
+namespace durable {
+
+std::vector<std::uint8_t>
+encodeWalRecord(std::uint32_t type, std::uint64_t seq,
+                const std::vector<std::uint8_t>& payload)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kWalHeaderBytes + payload.size() + kWalDigestBytes);
+    common::putU32(frame,
+                   static_cast<std::uint32_t>(payload.size()));
+    common::putU32(frame, type);
+    common::putU64(frame, seq);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    common::putU64(frame, common::fnv1a64(frame.data(), frame.size()));
+    return frame;
+}
+
+WalReadResult
+readWal(const std::uint8_t* data, std::size_t size,
+        std::uint64_t first_seq)
+{
+    WalReadResult out;
+    std::size_t pos = 0;
+    std::uint64_t expect_seq = first_seq;
+    auto stop = [&](std::string why) {
+        out.torn = true;
+        out.tail_error = std::move(why);
+    };
+    while (pos < size) {
+        if (size - pos < kWalHeaderBytes) {
+            stop("truncated record header");
+            break;
+        }
+        const std::uint32_t len = common::getU32(data + pos);
+        if (len > kWalMaxPayloadBytes) {
+            stop("payload length " + std::to_string(len) +
+                 " exceeds cap");
+            break;
+        }
+        const std::size_t frame_bytes =
+            kWalHeaderBytes + len + kWalDigestBytes;
+        if (size - pos < frame_bytes) {
+            stop("truncated record body");
+            break;
+        }
+        const std::uint64_t stored = common::getU64(
+            data + pos + kWalHeaderBytes + len);
+        const std::uint64_t actual =
+            common::fnv1a64(data + pos, kWalHeaderBytes + len);
+        if (stored != actual) {
+            stop("record digest mismatch");
+            break;
+        }
+        WalRecord rec;
+        rec.type = common::getU32(data + pos + 4);
+        rec.seq = common::getU64(data + pos + 8);
+        if (rec.seq != expect_seq) {
+            stop("sequence discontinuity: got " +
+                 std::to_string(rec.seq) + ", expected " +
+                 std::to_string(expect_seq));
+            break;
+        }
+        rec.payload.assign(data + pos + kWalHeaderBytes,
+                           data + pos + kWalHeaderBytes + len);
+        out.records.push_back(std::move(rec));
+        pos += frame_bytes;
+        out.clean_bytes = pos;
+        ++expect_seq;
+    }
+    return out;
+}
+
+WalReadResult
+readWal(const std::vector<std::uint8_t>& bytes,
+        std::uint64_t first_seq)
+{
+    return readWal(bytes.data(), bytes.size(), first_seq);
+}
+
+WalWriter::WalWriter(StableStore& store, std::string file,
+                     std::uint64_t next_seq)
+    : store_(store), file_(std::move(file)), next_seq_(next_seq)
+{
+}
+
+common::Status
+WalWriter::append(std::uint32_t type,
+                  const std::vector<std::uint8_t>& payload)
+{
+    if (payload.size() > kWalMaxPayloadBytes)
+        return common::Status::failure(
+            common::ErrorCode::InvalidArgument,
+            "WAL payload exceeds cap: " +
+                std::to_string(payload.size()));
+    auto st = store_.append(
+        file_, encodeWalRecord(type, next_seq_, payload));
+    if (!st.ok())
+        return st;
+    ++next_seq_;
+    ++pending_records_;
+    return {};
+}
+
+common::Status
+WalWriter::sync()
+{
+    if (pending_records_ == 0)
+        return {};
+    auto st = store_.syncRetry(file_);
+    if (!st.ok())
+        return st;
+    pending_records_ = 0;
+    ++syncs_;
+    return {};
+}
+
+} // namespace durable

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Write-ahead journal framing on top of the stable store.
+ *
+ * A WAL segment is a flat sequence of self-validating records:
+ *
+ *   u32 payload_len | u32 type | u64 seq | payload bytes |
+ *   u64 FNV-1a-64 digest of (header + payload)
+ *
+ * Sequence numbers are segment-local, starting at the segment's
+ * declared first sequence and incrementing by one; the reader
+ * enforces the progression so a record from another segment spliced
+ * into the middle cannot be silently accepted.
+ *
+ * Recovery reads with torn-tail semantics: parsing stops at the
+ * first record that is truncated, oversized, digest-corrupt, or
+ * out of sequence, and everything before it is trusted. That is the
+ * standard contract for a crash-interrupted append-only log -- the
+ * tail may be garbage (the crash tore the last group commit), but a
+ * valid prefix is exactly the set of durably committed records.
+ * readWal() never crashes on arbitrary input; it is a fuzz target
+ * (durable_fuzz_test) like the checkpoint decoder before it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "durable/stable_store.hpp"
+
+namespace durable {
+
+/** Fixed header bytes before a record's payload. */
+inline constexpr std::size_t kWalHeaderBytes = 16;
+
+/** Trailing digest bytes after the payload. */
+inline constexpr std::size_t kWalDigestBytes = 8;
+
+/** Upper bound on a record payload; anything larger is corruption. */
+inline constexpr std::uint32_t kWalMaxPayloadBytes = 1u << 20;
+
+/** One decoded journal record. */
+struct WalRecord
+{
+    std::uint32_t type = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Encode one record into its wire frame. */
+std::vector<std::uint8_t>
+encodeWalRecord(std::uint32_t type, std::uint64_t seq,
+                const std::vector<std::uint8_t>& payload);
+
+/** Result of scanning a WAL segment with torn-tail semantics. */
+struct WalReadResult
+{
+    /** The valid record prefix, in order. */
+    std::vector<WalRecord> records;
+
+    /** Bytes covered by the valid prefix. */
+    std::size_t clean_bytes = 0;
+
+    /** True when trailing bytes after the valid prefix failed to
+     *  parse (a torn group commit, or corruption). */
+    bool torn = false;
+
+    /** Why parsing stopped ("" when the segment ended cleanly). */
+    std::string tail_error;
+};
+
+/**
+ * Scan a segment, trusting the longest valid record prefix.
+ * @param first_seq the sequence number the segment must start at.
+ */
+WalReadResult readWal(const std::uint8_t* data, std::size_t size,
+                      std::uint64_t first_seq = 1);
+
+WalReadResult readWal(const std::vector<std::uint8_t>& bytes,
+                      std::uint64_t first_seq = 1);
+
+/**
+ * Appends framed records to one segment file and group-commits them.
+ * append() only buffers (the store's pending tail); sync() makes
+ * everything appended so far durable, retrying across injected short
+ * writes. Callers decide the commit policy (per-record for High-class
+ * admissions, batched otherwise).
+ */
+class WalWriter
+{
+  public:
+    WalWriter(StableStore& store, std::string file,
+              std::uint64_t next_seq = 1);
+
+    /** Frame and buffer one record; assigns the next sequence. */
+    common::Status append(std::uint32_t type,
+                          const std::vector<std::uint8_t>& payload);
+
+    /** Force every appended record durable (bounded short-write
+     *  retries). OK return = all records so far are committed. */
+    common::Status sync();
+
+    /** Sequence the next append will get. */
+    std::uint64_t nextSeq() const { return next_seq_; }
+
+    /** Records appended but not yet covered by an OK sync(). */
+    std::size_t pendingRecords() const { return pending_records_; }
+
+    /** Total OK syncs (the group-commit count). */
+    std::uint64_t syncs() const { return syncs_; }
+
+    const std::string& file() const { return file_; }
+
+  private:
+    StableStore& store_;
+    std::string file_;
+    std::uint64_t next_seq_;
+    std::size_t pending_records_ = 0;
+    std::uint64_t syncs_ = 0;
+};
+
+} // namespace durable

@@ -131,6 +131,20 @@ FaultInjector::stallPenaltyUs(double now_us)
     return plan_.stall_at_us + plan_.stall_duration_us - now_us;
 }
 
+bool
+FaultInjector::hostCrashAtBoundary(std::uint64_t events_processed)
+{
+    if (plan_.host_crash_at_event < 0 ||
+        events_processed <
+            static_cast<std::uint64_t>(plan_.host_crash_at_event))
+        return false;
+    if (!host_crash_logged_) {
+        host_crash_logged_ = true;
+        ++log_.host_crashes;
+    }
+    return true;
+}
+
 int
 FaultInjector::smsToDisable(double now_us)
 {

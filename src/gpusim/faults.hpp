@@ -97,6 +97,27 @@ struct FaultPlan
 
     /** @} */
 
+    /**
+     * @name Host fault domain
+     *
+     * The host process that owns the serving event loop is its own
+     * fault domain: when it dies, every queued request, every
+     * buffered-but-unsynced journal byte, and every JITted
+     * specialization dies with it, and only stable storage survives
+     * (DESIGN.md section 4.10). The crash point is keyed on the event
+     * loop's deterministic event counter -- not wall clock, not the
+     * RNG -- so "crash at event boundary k" is exactly reproducible
+     * at any host thread count, which is what lets the crash-point
+     * explorer enumerate every boundary of a run.
+     * @{
+     */
+
+    /** Event boundary at which the host process crashes: the loop
+     *  halts after processing this many events; < 0 never. */
+    long long host_crash_at_event = -1;
+
+    /** @} */
+
     /** Same rate for every transient category. */
     static FaultPlan uniform(double rate, std::uint64_t seed);
 
@@ -122,6 +143,8 @@ struct FaultPlan
         return wedge_at_us >= 0.0 || stall_at_us >= 0.0 ||
                (sm_disable_at_us >= 0.0 && sm_disable_count > 0);
     }
+
+    bool anyHostDomain() const { return host_crash_at_event >= 0; }
 };
 
 /** Count of faults injected so far, per category. */
@@ -138,6 +161,9 @@ struct FaultLog
     std::uint64_t device_wedges = 0;
     std::uint64_t device_stalls = 0;
     std::uint64_t sm_disables = 0;
+
+    /** Host-domain events (scheduled, logged once). */
+    std::uint64_t host_crashes = 0;
 
     /** Transient per-batch faults the in-batch recovery ladder sees.
      *  Device-domain events are excluded: they are absorbed one level
@@ -223,6 +249,14 @@ class FaultInjector
 
     /** @} */
 
+    /**
+     * Host-domain query, keyed on the serving event loop's event
+     * counter (RNG-free, like the device domain): does the host
+     * process crash at the boundary after @p events_processed events?
+     * Logs its category once, on first trigger.
+     */
+    bool hostCrashAtBoundary(std::uint64_t events_processed);
+
   private:
     FaultPlan plan_;
     common::Rng rng_;
@@ -230,6 +264,7 @@ class FaultInjector
     bool wedge_logged_ = false;
     bool stall_logged_ = false;
     bool sm_disable_applied_ = false;
+    bool host_crash_logged_ = false;
 };
 
 } // namespace gpusim

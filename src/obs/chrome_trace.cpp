@@ -1,7 +1,6 @@
 /** @file Trace Event Format (chrome://tracing / Perfetto) export. */
 #include "obs/chrome_trace.hpp"
 
-#include <fstream>
 #include <set>
 
 #include "obs/json.hpp"
@@ -105,18 +104,9 @@ chromeTraceJson(const Tracer& tracer)
 common::Status
 writeChromeTrace(const std::string& path, const Tracer& tracer)
 {
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
-    if (!f)
-        return common::Status::failure(
-            common::ErrorCode::InvalidArgument,
-            "cannot open trace output file: " + path);
-    f << chromeTraceJson(tracer);
-    f.flush();
-    if (!f)
-        return common::Status::failure(
-            common::ErrorCode::InvalidArgument,
-            "short write to trace output file: " + path);
-    return common::Status();
+    // Temp-write + rename: a crash mid-export never leaves a
+    // truncated trace that ui.perfetto.dev refuses to load.
+    return writeTextFileAtomic(path, chromeTraceJson(tracer));
 }
 
 } // namespace obs

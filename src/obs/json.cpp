@@ -1,5 +1,7 @@
 #include "obs/json.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 
 namespace obs {
@@ -61,6 +63,38 @@ appendJsonDouble(std::string& out, double v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     out += buf;
+}
+
+common::Status
+writeTextFileAtomic(const std::string& path,
+                    const std::string& content)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return common::Status::failure(
+            common::ErrorCode::InvalidArgument,
+            "cannot open output file: " + tmp);
+    const bool wrote =
+        content.empty() ||
+        std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size();
+    const bool flushed = std::fflush(f) == 0;
+    const bool synced = ::fsync(::fileno(f)) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (!(wrote && flushed && synced && closed)) {
+        std::remove(tmp.c_str());
+        return common::Status::failure(
+            common::ErrorCode::ShortWrite,
+            "short write to output file: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return common::Status::failure(
+            common::ErrorCode::Unavailable,
+            "cannot rename " + tmp + " over " + path);
+    }
+    return common::Status();
 }
 
 } // namespace obs

@@ -14,6 +14,8 @@
 
 #include <string>
 
+#include "common/status.hpp"
+
 namespace obs {
 
 /**
@@ -35,5 +37,18 @@ std::string jsonQuoted(const std::string& s);
  * reconstruct the exact doubles).
  */
 void appendJsonDouble(std::string& out, double v);
+
+/**
+ * Write @p content to @p path atomically: the bytes go to
+ * `path + ".tmp"`, are flushed and fsynced, and the temp file is
+ * renamed over @p path -- the same temp-write + rename discipline the
+ * durable checkpoint store uses (durable/manifest.hpp). A reader (or
+ * a crash mid-export) therefore sees either the previous complete
+ * file or the new complete file, never a truncated JSON document.
+ * Used by every exporter that lands on disk: Chrome traces, metrics
+ * dumps, and the benches' committed BENCH_*.json trajectories.
+ */
+common::Status writeTextFileAtomic(const std::string& path,
+                                   const std::string& content);
 
 } // namespace obs

@@ -4,7 +4,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
 #include "obs/json.hpp"
 
@@ -197,18 +196,9 @@ MetricsRegistry::json() const
 common::Status
 MetricsRegistry::writeJson(const std::string& path) const
 {
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
-    if (!f)
-        return common::Status::failure(
-            common::ErrorCode::InvalidArgument,
-            "cannot open metrics output file: " + path);
-    f << json();
-    f.flush();
-    if (!f)
-        return common::Status::failure(
-            common::ErrorCode::InvalidArgument,
-            "short write to metrics output file: " + path);
-    return common::Status();
+    // Temp-write + rename: a crash (or a concurrent reader) never
+    // sees a truncated metrics dump.
+    return writeTextFileAtomic(path, json());
 }
 
 } // namespace obs

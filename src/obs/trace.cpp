@@ -66,6 +66,8 @@ laneName(std::int32_t lane)
         return "serve";
       case kLaneFleet:
         return "fleet";
+      case kLaneDurable:
+        return "durable";
       default:
         if (lane >= kLaneReplicaBase)
             return "replica " + std::to_string(lane -

@@ -71,4 +71,14 @@ Batcher::expire(double now_us)
     return dead;
 }
 
+std::vector<Queued>
+Batcher::snapshot() const
+{
+    std::vector<Queued> all;
+    all.reserve(depth());
+    all.insert(all.end(), high_.begin(), high_.end());
+    all.insert(all.end(), low_.begin(), low_.end());
+    return all;
+}
+
 } // namespace serve

@@ -102,6 +102,11 @@ public:
      */
     std::vector<Queued> expire(double now_us);
 
+    /** Non-destructive copy of every queued request, High first then
+     *  Low, FIFO within each class (drain order). The durability
+     *  layer captures this into fleet checkpoints. */
+    std::vector<Queued> snapshot() const;
+
 private:
     BatchPolicy policy_;
     std::deque<Queued> high_;

@@ -2,12 +2,17 @@
 #include "serve/fleet.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <map>
 
 #include "common/logging.hpp"
+#include "durable/manifest.hpp"
+#include "durable/wal.hpp"
 #include "graph/expr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/durability.hpp"
 #include "train/checkpoint_io.hpp"
 #include "train/harness.hpp"
 
@@ -93,7 +98,13 @@ Fleet::Fleet(std::vector<FleetReplica> replicas, FleetConfig cfg,
     for (std::size_t i = 0; i < slots_.size(); ++i)
         if (slots_[i].state != ReplicaState::Active)
             health_.disable(i);
+
+    if (cfg_.durability.store != nullptr ||
+        cfg_.durability.host_faults.anyHostDomain())
+        initDurability();
 }
+
+Fleet::~Fleet() = default;
 
 void
 Fleet::count(const char* name, std::uint64_t n)
@@ -179,7 +190,9 @@ Fleet::onArrival(const Request& req)
         count(metric);
     };
 
-    switch (admission_.decide(req, depth, est_start, est_service)) {
+    const auto dec =
+        admission_.decide(req, depth, est_start, est_service);
+    switch (dec) {
     case AdmissionController::Decision::Admit:
         ++counters_.admitted;
         if (req.cls == RequestClass::High) {
@@ -188,20 +201,21 @@ Fleet::onArrival(const Request& req)
         }
         decided("admit", "fleet.admitted");
         queue_.enqueue(Queued{req, 0, now_});
-        return;
+        break;
     case AdmissionController::Decision::RejectQueueFull:
         ++counters_.rejected_queue_full;
         decided("reject_queue_full", "fleet.rejected_queue_full");
-        return;
+        break;
     case AdmissionController::Decision::RejectInfeasible:
         ++counters_.rejected_infeasible;
         decided("reject_infeasible", "fleet.rejected_infeasible");
-        return;
+        break;
     case AdmissionController::Decision::Shed:
         ++counters_.shed;
         decided("shed", "fleet.shed");
-        return;
+        break;
     }
+    journalAdmit(req, dec);
 }
 
 std::size_t
@@ -290,7 +304,8 @@ Fleet::execute(std::size_t s, Queued q, bool as_hedge)
 }
 
 void
-Fleet::finalizeRequest(const Queued& q, Outcome outcome)
+Fleet::finalizeRequest(const Queued& q, Outcome outcome,
+                       float response, double latency)
 {
     const bool high = q.req.cls == RequestClass::High;
     switch (outcome) {
@@ -322,6 +337,7 @@ Fleet::finalizeRequest(const Queued& q, Outcome outcome)
         fleetInstant("fail", q.req.id);
         break;
     }
+    journalOutcome(q, outcome, response, latency);
 }
 
 std::size_t
@@ -354,9 +370,10 @@ Fleet::completeOn(std::size_t s)
         count("fleet.hedge_cancelled");
         fleetInstant("hedge_cancel", id, static_cast<double>(s));
     } else if (fl.ok && fl.done_at_us <= fl.q.req.deadline_us) {
-        finalizeRequest(fl.q, Outcome::Completed);
-        responses_.emplace_back(id, fl.response);
         const double latency = fl.done_at_us - fl.q.req.arrival_us;
+        finalizeRequest(fl.q, Outcome::Completed, fl.response,
+                        latency);
+        responses_.emplace_back(id, fl.response);
         latencies_.push_back(latency);
         if (metrics_ != nullptr)
             metrics_->histogram("fleet.latency_us").observe(latency);
@@ -566,9 +583,20 @@ Fleet::drainUnroutable()
 void
 Fleet::run(const std::vector<Request>& arrivals)
 {
+    if (crashed_)
+        return;
     std::size_t next = 0;
     bool dispatch_stalled = false;
     while (true) {
+        // Host crash fires only here, at an event boundary: the
+        // process dies between events, never mid-event, so durable
+        // state is always a prefix of the event history.
+        if (host_faults_ &&
+            host_faults_->hostCrashAtBoundary(events_)) {
+            hostCrash();
+            return;
+        }
+
         bool inflight_any = false;
         bool joining_any = false;
         for (const Slot& sl : slots_) {
@@ -702,7 +730,393 @@ Fleet::run(const std::vector<Request>& arrivals)
         default:
             break;
         }
+        ++events_;
+        if (kind == kComplete)
+            maybeCheckpoint();
     }
+    // Clean shutdown: whatever the group-commit batch was, the
+    // journal tail is made durable before run() returns.
+    syncWalIfDue(true);
+}
+
+void
+Fleet::initDurability()
+{
+    DurabilityConfig& d = cfg_.durability;
+    if (d.host_faults.anyHostDomain())
+        host_faults_.emplace(d.host_faults);
+    if (d.store == nullptr)
+        return; // crash-only configuration (no persistence)
+    ckpt_store_ =
+        std::make_unique<durable::CheckpointStore>(*d.store, d.dir);
+    if (ckpt_store_->hasState()) {
+        recoverFromStore();
+    } else {
+        installCheckpoint();
+        if (generation_ == 0)
+            common::panic(
+                "Fleet: initial checkpoint install failed");
+    }
+}
+
+void
+Fleet::durableInstant(const char* name, double a0, double a1)
+{
+    if (tracer_ != nullptr)
+        tracer_->instant(obs::kLaneDurable, "durable", name, now_,
+                         static_cast<std::int64_t>(events_), a0, a1);
+}
+
+void
+Fleet::journalAdmit(const Request& req,
+                    AdmissionController::Decision dec)
+{
+    if (!wal_)
+        return;
+    const double sim_before = cfg_.durability.store->stats().sim_us;
+    JournalAdmit a;
+    a.id = req.id;
+    a.cls = req.cls;
+    switch (dec) {
+    case AdmissionController::Decision::Admit:
+        a.decision = JournalDecision::Admit;
+        break;
+    case AdmissionController::Decision::RejectQueueFull:
+        a.decision = JournalDecision::RejectQueueFull;
+        break;
+    case AdmissionController::Decision::RejectInfeasible:
+        a.decision = JournalDecision::RejectInfeasible;
+        break;
+    case AdmissionController::Decision::Shed:
+        a.decision = JournalDecision::Shed;
+        break;
+    }
+    a.input_index = static_cast<std::uint64_t>(req.input_index);
+    a.arrival_us = req.arrival_us;
+    a.deadline_us = req.deadline_us;
+    if (auto st = wal_->append(kJournalAdmitType, encodeAdmit(a));
+        !st.ok())
+        common::warn("Fleet: admit journal append failed: ",
+                     st.toString());
+    count("durable.wal_records");
+    now_ += cfg_.durability.store->stats().sim_us - sim_before;
+    // A durably admitted High request can never be silently lost:
+    // its admit record is synced before the arrival event returns.
+    const bool force = cfg_.durability.sync_high_admits &&
+                       dec == AdmissionController::Decision::Admit &&
+                       req.cls == RequestClass::High;
+    syncWalIfDue(force);
+}
+
+void
+Fleet::journalOutcome(const Queued& q, Outcome outcome,
+                      float response, double latency)
+{
+    if (!wal_)
+        return;
+    const double sim_before = cfg_.durability.store->stats().sim_us;
+    JournalOutcome o;
+    o.id = q.req.id;
+    o.outcome = outcome;
+    o.cls = q.req.cls;
+    if (outcome == Outcome::Completed) {
+        std::memcpy(&o.response_bits, &response, 4);
+        o.latency_us = latency;
+    }
+    if (auto st = wal_->append(kJournalOutcomeType, encodeOutcome(o));
+        !st.ok())
+        common::warn("Fleet: outcome journal append failed: ",
+                     st.toString());
+    count("durable.wal_records");
+    now_ += cfg_.durability.store->stats().sim_us - sim_before;
+    syncWalIfDue(false);
+}
+
+void
+Fleet::syncWalIfDue(bool force)
+{
+    if (!wal_ || wal_->pendingRecords() == 0)
+        return;
+    const std::size_t batch =
+        std::max<std::size_t>(1, cfg_.durability.wal_sync_batch);
+    if (!force && wal_->pendingRecords() < batch)
+        return;
+    const double sim_before = cfg_.durability.store->stats().sim_us;
+    const std::size_t n = wal_->pendingRecords();
+    if (auto st = wal_->sync(); !st.ok())
+        common::warn("Fleet: WAL sync failed: ", st.toString());
+    now_ += cfg_.durability.store->stats().sim_us - sim_before;
+    count("durable.wal_syncs");
+    durableInstant("wal_sync", static_cast<double>(n),
+                   force ? 1.0 : 0.0);
+}
+
+void
+Fleet::maybeCheckpoint()
+{
+    const DurabilityConfig& d = cfg_.durability;
+    if (!ckpt_store_ || d.checkpoint_every_completions == 0)
+        return;
+    if (counters_.completed == last_ckpt_completed_ ||
+        counters_.completed % d.checkpoint_every_completions != 0)
+        return;
+    installCheckpoint();
+}
+
+FleetDurableState
+Fleet::captureDurableState() const
+{
+    FleetDurableState st;
+    st.now_us = now_;
+    st.counters = counters_;
+    // Pre-reconcile `routed`: in-flight dispatches die with the
+    // process and are re-dispatched after recovery, so the captured
+    // dispatch ledger keeps only settled dispatches. WAL replay of a
+    // completion then increments routed and completed together, and
+    // the dispatch identity holds across the crash by construction.
+    st.counters.routed = counters_.completed +
+                         counters_.failed_over +
+                         counters_.hedge_cancelled + counters_.lost;
+    st.completed.reserve(responses_.size());
+    for (std::size_t i = 0; i < responses_.size(); ++i) {
+        FleetDurableState::CompletedEntry e;
+        e.id = responses_[i].first;
+        std::memcpy(&e.response_bits, &responses_[i].second, 4);
+        e.latency_us = latencies_[i];
+        st.completed.push_back(e);
+    }
+    // Admitted but unfinalized: the queue, then in-flight dispatches.
+    // Hedge twins collapse to one entry; a twin whose request is
+    // already finalized contributes nothing.
+    std::set<std::uint64_t> seen;
+    for (const Queued& q : queue_.snapshot())
+        if (finalized_pending_.find(q.req.id) ==
+                finalized_pending_.end() &&
+            seen.insert(q.req.id).second)
+            st.pending.push_back(q.req);
+    for (const Slot& sl : slots_)
+        if (sl.inflight &&
+            finalized_pending_.find(sl.inflight->q.req.id) ==
+                finalized_pending_.end() &&
+            seen.insert(sl.inflight->q.req.id).second)
+            st.pending.push_back(sl.inflight->q.req);
+    st.params_blob = ckpt_blob_;
+    return st;
+}
+
+void
+Fleet::installCheckpoint()
+{
+    DurabilityConfig& d = cfg_.durability;
+    const double sim_before = d.store->stats().sim_us;
+    FleetDurableState st = captureDurableState();
+    st.wal_first_seq = wal_ ? wal_->nextSeq() : 1;
+    auto res = ckpt_store_->install(
+        generation_ + 1, serializeFleetState(st),
+        wal_ ? wal_->file() : std::string());
+    now_ += d.store->stats().sim_us - sim_before;
+    if (!res.ok()) {
+        common::warn("Fleet: checkpoint install failed: ",
+                     res.takeStatus().toString());
+        return;
+    }
+    generation_ = res.value().generation;
+    wal_ = std::make_unique<durable::WalWriter>(
+        *d.store, res.value().wal_file, st.wal_first_seq);
+    last_ckpt_completed_ = counters_.completed;
+    count("durable.checkpoints");
+    durableInstant("checkpoint_install",
+                   static_cast<double>(generation_),
+                   static_cast<double>(st.pending.size()));
+}
+
+void
+Fleet::recoverFromStore()
+{
+    DurabilityConfig& d = cfg_.durability;
+    const double sim_before = d.store->stats().sim_us;
+    const double now_before = now_;
+
+    auto loaded = ckpt_store_->loadLatest();
+    if (!loaded.ok())
+        common::panic("Fleet: recovery failed loading checkpoint: ",
+                      loaded.takeStatus().toString());
+    auto parsed = parseFleetState(loaded.value().payload);
+    if (!parsed.ok())
+        common::panic("Fleet: recovery failed parsing state: ",
+                      parsed.takeStatus().toString());
+    FleetDurableState st = std::move(parsed).value();
+    // The replicas this fleet was constructed over must carry the
+    // same parameters the crashed fleet checkpointed: responses are
+    // pure functions of (input, parameters), and this is what makes
+    // post-recovery completions bitwise comparable.
+    if (st.params_blob != ckpt_blob_)
+        common::panic(
+            "Fleet: recovered parameter blob differs from the "
+            "rebuilt replicas' (reconstruct replicas with the "
+            "crashed fleet's seeds before recovering)");
+
+    generation_ = loaded.value().manifest.generation;
+    counters_ = st.counters;
+    responses_.clear();
+    latencies_.clear();
+    for (const auto& e : st.completed) {
+        float v = 0.0f;
+        std::memcpy(&v, &e.response_bits, 4);
+        responses_.emplace_back(e.id, v);
+        latencies_.push_back(e.latency_us);
+    }
+    now_ = std::max(now_, st.now_us);
+
+    // Replay the WAL's clean prefix on top of the checkpoint.
+    auto wal_bytes = d.store->read(loaded.value().manifest.wal_file);
+    if (!wal_bytes.ok())
+        common::panic("Fleet: recovery failed reading WAL: ",
+                      wal_bytes.takeStatus().toString());
+    const durable::WalReadResult rr = durable::readWal(
+        wal_bytes.value(), st.wal_first_seq);
+
+    std::map<std::uint64_t, Request> in_doubt;
+    for (const Request& r : st.pending)
+        in_doubt[r.id] = r;
+    for (const durable::WalRecord& rec : rr.records) {
+        if (rec.type == kJournalAdmitType) {
+            auto ar = decodeAdmit(rec.payload);
+            if (!ar.ok()) {
+                common::warn("Fleet: stopping replay: ",
+                             ar.takeStatus().toString());
+                break;
+            }
+            const JournalAdmit& a = ar.value();
+            ++counters_.arrivals;
+            switch (a.decision) {
+            case JournalDecision::Admit: {
+                ++counters_.admitted;
+                if (a.cls == RequestClass::High)
+                    ++counters_.admitted_high;
+                Request req;
+                req.id = a.id;
+                req.cls = a.cls;
+                req.input_index =
+                    static_cast<std::size_t>(a.input_index);
+                req.arrival_us = a.arrival_us;
+                req.deadline_us = a.deadline_us;
+                in_doubt[a.id] = req;
+                break;
+            }
+            case JournalDecision::RejectQueueFull:
+                ++counters_.rejected_queue_full;
+                break;
+            case JournalDecision::RejectInfeasible:
+                ++counters_.rejected_infeasible;
+                break;
+            case JournalDecision::Shed:
+                ++counters_.shed;
+                break;
+            }
+        } else if (rec.type == kJournalOutcomeType) {
+            auto orr = decodeOutcome(rec.payload);
+            if (!orr.ok()) {
+                common::warn("Fleet: stopping replay: ",
+                             orr.takeStatus().toString());
+                break;
+            }
+            const JournalOutcome& o = orr.value();
+            in_doubt.erase(o.id);
+            const bool high = o.cls == RequestClass::High;
+            switch (o.outcome) {
+            case Outcome::Completed: {
+                ++counters_.completed;
+                ++counters_.routed; // the winning dispatch
+                if (high)
+                    ++counters_.completed_high;
+                float v = 0.0f;
+                std::memcpy(&v, &o.response_bits, 4);
+                responses_.emplace_back(o.id, v);
+                latencies_.push_back(o.latency_us);
+                break;
+            }
+            case Outcome::TimedOut:
+                ++counters_.timed_out;
+                if (high)
+                    ++counters_.timed_out_high;
+                break;
+            default:
+                ++counters_.failed;
+                if (high)
+                    ++counters_.failed_high;
+                break;
+            }
+        } else {
+            common::warn("Fleet: unknown journal record type ",
+                         rec.type, "; stopping replay");
+            break;
+        }
+    }
+
+    // Every admitted-but-unfinalized request re-enters the queue in
+    // id order and will be re-dispatched; their original dispatches
+    // (if any) died with the process and were never counted.
+    for (const auto& [id, req] : in_doubt)
+        queue_.enqueue(Queued{req, 0, now_});
+
+    // Modeled recovery cost: store reads (charged via sim_us),
+    // replay CPU, and the re-specialization of every live replica
+    // (they re-JIT in parallel, so the max gates readiness).
+    double re_jit_us = 0.0;
+    for (Slot& sl : slots_)
+        if (sl.state == ReplicaState::Active)
+            re_jit_us = std::max(
+                re_jit_us, handleOf(sl)->jitSeconds() * 1e6);
+    const double replay_us =
+        d.replay_us_per_record *
+        static_cast<double>(rr.records.size());
+    now_ += d.store->stats().sim_us - sim_before + replay_us +
+            re_jit_us;
+
+    RecoveryInfo info;
+    info.generation = generation_;
+    info.replayed_records = rr.records.size();
+    info.in_doubt = in_doubt.size();
+    info.wal_bytes = rr.clean_bytes;
+    info.wal_torn = rr.torn;
+    info.re_jit_us = re_jit_us;
+
+    // The recovery checkpoint: everything just reconstructed becomes
+    // generation N+1 with a fresh WAL segment, so the old segment's
+    // (possibly torn) tail is never appended to -- it is simply
+    // garbage-collected by the install.
+    wal_ = std::make_unique<durable::WalWriter>(
+        *d.store, loaded.value().manifest.wal_file,
+        st.wal_first_seq + rr.records.size());
+    installCheckpoint();
+
+    info.recovery_us = now_ - now_before;
+    recovery_ = info;
+    count("durable.recoveries");
+    count("durable.replayed_records", info.replayed_records);
+    count("durable.in_doubt", info.in_doubt);
+    durableInstant("recovery_replay",
+                   static_cast<double>(info.replayed_records),
+                   static_cast<double>(info.in_doubt));
+    common::inform("Fleet: recovered generation ", info.generation,
+                   ": replayed ", info.replayed_records,
+                   " records, re-enqueued ", info.in_doubt,
+                   " in-doubt requests",
+                   rr.torn ? " (WAL tail was torn)" : "");
+}
+
+void
+Fleet::hostCrash()
+{
+    crashed_ = true;
+    count("durable.host_crashes");
+    durableInstant("host_crash", static_cast<double>(events_));
+    common::warn("Fleet: host crashed at event boundary ", events_);
+    // The store takes the crash too: its unsynced bytes (the WAL
+    // tail past the last sync) are torn or dropped per its plan.
+    if (cfg_.durability.store != nullptr)
+        cfg_.durability.store->crash();
 }
 
 FleetReport

@@ -47,6 +47,8 @@
 #include <utility>
 #include <vector>
 
+#include "durable/stable_store.hpp"
+#include "gpusim/faults.hpp"
 #include "models/benchmark_model.hpp"
 #include "serve/admission.hpp"
 #include "serve/batcher.hpp"
@@ -60,7 +62,65 @@ class Tracer;
 class MetricsRegistry;
 } // namespace obs
 
+namespace durable {
+class CheckpointStore;
+class WalWriter;
+} // namespace durable
+
 namespace serve {
+
+struct FleetDurableState; // serve/durability.hpp
+
+/**
+ * Crash-consistency knobs for the fleet (DESIGN.md section 4.10).
+ * With a null store, durability is off and the fleet behaves exactly
+ * as before. With a store, the fleet journals every admission
+ * decision and final disposition to a write-ahead log, installs
+ * atomic generation checkpoints, and -- when the directory already
+ * holds an installed generation at construction -- recovers: restores
+ * counters and the completed-response log, replays the WAL, re-JITs
+ * at modeled cost, and re-enqueues every admitted-but-unfinalized
+ * request.
+ */
+struct DurabilityConfig
+{
+    /** Borrowed stable store; null disables durability. */
+    durable::StableStore* store = nullptr;
+
+    /** Directory (name prefix) inside the store. */
+    std::string dir = "fleet";
+
+    /** Group-commit threshold: sync the WAL once this many records
+     *  are buffered. 1 = sync every record. */
+    std::size_t wal_sync_batch = 1;
+
+    /** Force a WAL sync on every admitted High-class arrival, making
+     *  "no admitted High request lost" hold by construction (the
+     *  admission is durable before the arrival event returns). */
+    bool sync_high_admits = true;
+
+    /** Install a checkpoint generation every N completions
+     *  (0 = only the initial and recovery checkpoints). */
+    std::uint64_t checkpoint_every_completions = 0;
+
+    /** Host fault domain (host_crash_at_event). */
+    gpusim::FaultPlan host_faults;
+
+    /** Modeled CPU cost of replaying one journal record, us. */
+    double replay_us_per_record = 5.0;
+};
+
+/** What a recovery did, for reports and the crash-point explorer. */
+struct RecoveryInfo
+{
+    std::uint64_t generation = 0;       //!< generation recovered from
+    std::uint64_t replayed_records = 0; //!< WAL records replayed
+    std::uint64_t in_doubt = 0;         //!< requests re-enqueued
+    std::uint64_t wal_bytes = 0;        //!< clean WAL prefix bytes
+    bool wal_torn = false;              //!< crash tore the WAL tail
+    double recovery_us = 0.0; //!< modeled clock advance (total)
+    double re_jit_us = 0.0;   //!< re-specialization share of it
+};
 
 /**
  * One replica slot, caller-supplied and borrowed. Active replicas
@@ -100,6 +160,9 @@ struct FleetConfig
     /** Handle options for standby rebuilds (use the same options the
      *  active replicas' handles were built with). */
     vpps::VppsOptions standby_opts;
+
+    /** Crash-consistency (off unless durability.store is set). */
+    DurabilityConfig durability;
 };
 
 /**
@@ -212,11 +275,20 @@ public:
           obs::Tracer* tracer = nullptr,
           obs::MetricsRegistry* metrics = nullptr);
 
+    ~Fleet();
+
     /**
      * Serve @p arrivals (sorted by arrival_us; Request::endpoint is
      * ignored -- the fleet serves one model) to completion. May be
      * called repeatedly; clock, health, and breaker state carry
-     * over.
+     * over. With a host fault domain configured, the loop halts at
+     * the planned event boundary instead (crashed() turns true and
+     * the stable store takes its crash); further run() calls are
+     * no-ops -- recovery means constructing a new Fleet over the
+     * restarted store and feeding it the original arrival stream
+     * from the *recovered* fleet's arrivalsConsumed() (the crashed
+     * instance's in-memory count may exceed what the WAL made
+     * durable; un-acknowledged arrivals must be re-delivered).
      */
     void run(const std::vector<Request>& arrivals);
 
@@ -253,6 +325,36 @@ public:
     {
         return slots_[r].breaker;
     }
+
+    /** @name Durability surface (see DurabilityConfig) @{ */
+
+    /** True once the host fault domain fired; the loop is halted. */
+    bool crashed() const { return crashed_; }
+
+    /** Events processed so far (the host-crash boundary counter;
+     *  deterministic for a given arrival stream and config). */
+    std::uint64_t eventsProcessed() const { return events_; }
+
+    /** Arrivals consumed (acknowledged): on a recovered fleet this
+     *  reflects only durably journaled admits and is the index the
+     *  arrival source should resume re-delivery from. Every arrival
+     *  journals an admit record (rejects included), so this equals
+     *  the arrivals counter. On a crashed instance it is the
+     *  in-memory count, which may run ahead of the WAL. */
+    std::uint64_t arrivalsConsumed() const
+    {
+        return counters_.arrivals;
+    }
+
+    /** Set iff this fleet recovered from an installed generation. */
+    const std::optional<RecoveryInfo>& recovery() const
+    {
+        return recovery_;
+    }
+
+    /** Installed checkpoint generation (0 when durability is off). */
+    std::uint64_t generation() const { return generation_; }
+    /** @} */
 
 private:
     struct InFlight
@@ -304,7 +406,12 @@ private:
     void execute(std::size_t s, Queued q, bool as_hedge);
 
     void completeOn(std::size_t s);
-    void finalizeRequest(const Queued& q, Outcome outcome);
+
+    /** Book a request's final disposition (counters + journal).
+     *  @p response / @p latency only meaningful for Completed. */
+    void finalizeRequest(const Queued& q, Outcome outcome,
+                         float response = 0.0f,
+                         double latency = 0.0);
     void onDeviceLost(std::size_t s);
     void promoteStandby();
     void joinReplica(std::size_t s);
@@ -315,6 +422,22 @@ private:
     /** Twin dispatch of request @p id in flight on a slot other than
      *  @p self, or npos. */
     std::size_t twinOf(std::uint64_t id, std::size_t self) const;
+
+    /** @name Durability internals (all no-ops with a null store) @{ */
+    void initDurability();
+    void durableInstant(const char* name, double a0 = 0.0,
+                        double a1 = 0.0);
+    void journalAdmit(const Request& req,
+                      AdmissionController::Decision dec);
+    void journalOutcome(const Queued& q, Outcome outcome,
+                        float response, double latency);
+    void syncWalIfDue(bool force);
+    void maybeCheckpoint();
+    void installCheckpoint();
+    void recoverFromStore();
+    void hostCrash();
+    FleetDurableState captureDurableState() const;
+    /** @} */
 
     std::vector<Slot> slots_;
     FleetConfig cfg_;
@@ -339,6 +462,17 @@ private:
     std::vector<bool> was_suspect_; //!< per-slot phi edge detector
     std::size_t rr_next_ = 0;       //!< round-robin routing cursor
     double now_ = 0.0;
+
+    /** @name Durability state (unset with a null store) @{ */
+    std::unique_ptr<durable::CheckpointStore> ckpt_store_;
+    std::unique_ptr<durable::WalWriter> wal_;
+    std::optional<gpusim::FaultInjector> host_faults_;
+    std::uint64_t generation_ = 0;
+    std::uint64_t events_ = 0; //!< host-crash boundary counter
+    std::uint64_t last_ckpt_completed_ = 0;
+    bool crashed_ = false;
+    std::optional<RecoveryInfo> recovery_;
+    /** @} */
 };
 
 } // namespace serve

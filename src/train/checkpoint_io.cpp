@@ -3,74 +3,25 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "common/wire.hpp"
 
 namespace train {
 
 namespace {
 
+// Byte-level encode/decode comes from common/wire.hpp, shared with
+// the durable WAL and manifest formats.
+using common::fnv1a64;
+using common::getF32;
+using common::getU32;
+using common::getU64;
+using common::putF32;
+using common::putU32;
+using common::putU64;
+
 constexpr std::uint8_t kMagic[4] = {'V', 'P', 'C', 'K'};
 constexpr std::size_t kHeaderBytes = 32;
 constexpr std::size_t kDigestBytes = 8;
-
-std::uint64_t
-fnv1a64(const std::uint8_t* data, std::size_t size)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (std::size_t i = 0; i < size; ++i) {
-        h ^= data[i];
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
-void
-putU32(std::vector<std::uint8_t>& out, std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void
-putU64(std::vector<std::uint8_t>& out, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void
-putF32(std::vector<std::uint8_t>& out, float v)
-{
-    std::uint32_t bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    putU32(out, bits);
-}
-
-std::uint32_t
-getU32(const std::uint8_t* p)
-{
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-    return v;
-}
-
-std::uint64_t
-getU64(const std::uint8_t* p)
-{
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-    return v;
-}
-
-float
-getF32(const std::uint8_t* p)
-{
-    const std::uint32_t bits = getU32(p);
-    float v;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
-}
 
 common::Status
 malformed(std::string message)

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit suite for the simulated stable store, the WAL framing, and
+ * the atomic checkpoint install protocol. The centerpiece is the
+ * crash-point sweep: a checkpoint install interrupted after *every
+ * possible store operation* -- with torn-write and bit-rot injection
+ * at full rate -- must always leave a store that restores to exactly
+ * generation N or generation N+1, never a blend and never garbage.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "durable/manifest.hpp"
+#include "durable/stable_store.hpp"
+#include "durable/wal.hpp"
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const std::string& s)
+{
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(StableStore, AppendSyncReadRoundTrip)
+{
+    durable::StableStore store;
+    ASSERT_TRUE(store.append("f", bytesOf("hello ")).ok());
+    ASSERT_TRUE(store.append("f", bytesOf("world")).ok());
+    // A live process reads its own pending writes.
+    auto r = store.read("f");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), bytesOf("hello world"));
+    ASSERT_TRUE(store.sync("f").ok());
+    store.crash();
+    store.restart();
+    r = store.read("f");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), bytesOf("hello world"))
+        << "synced bytes must survive a crash";
+}
+
+TEST(StableStore, UnsyncedBytesDieOnCrash)
+{
+    durable::StableStore store; // torn rate 0: tails vanish whole
+    ASSERT_TRUE(store.append("f", bytesOf("durable")).ok());
+    ASSERT_TRUE(store.sync("f").ok());
+    ASSERT_TRUE(store.append("f", bytesOf(" pending")).ok());
+    store.crash();
+    store.restart();
+    auto r = store.read("f");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), bytesOf("durable"));
+    EXPECT_EQ(store.stats().unsynced_bytes_lost, 8u);
+}
+
+TEST(StableStore, TornCrashKeepsAPrefixOfThePendingTail)
+{
+    durable::StorePlan plan;
+    plan.torn_write_rate = 1.0;
+    durable::StableStore store(plan);
+    ASSERT_TRUE(store.append("f", bytesOf("durable|")).ok());
+    ASSERT_TRUE(store.sync("f").ok());
+    ASSERT_TRUE(store.append("f", bytesOf("pending-tail")).ok());
+    store.crash();
+    store.restart();
+    auto r = store.read("f");
+    ASSERT_TRUE(r.ok());
+    const auto full = bytesOf("durable|pending-tail");
+    ASSERT_LE(r.value().size(), full.size());
+    ASSERT_GE(r.value().size(), 8u)
+        << "the synced prefix can never shrink";
+    EXPECT_EQ(store.stats().torn_files, 1u);
+}
+
+TEST(StableStore, WriteFileTruncatesDurableImmediately)
+{
+    durable::StableStore store;
+    ASSERT_TRUE(store.append("f", bytesOf("old")).ok());
+    ASSERT_TRUE(store.sync("f").ok());
+    // O_TRUNC semantics: overwrite-in-place loses the old durable
+    // bytes at once while the new ones are still pending -- exactly
+    // the hazard the temp-write + rename protocol exists to avoid.
+    ASSERT_TRUE(store.writeFile("f", bytesOf("newer")).ok());
+    store.crash();
+    store.restart();
+    auto r = store.read("f");
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().empty())
+        << "old contents gone, new contents never synced";
+}
+
+TEST(StableStore, ShortWriteSyncEventuallySucceedsWithRetry)
+{
+    durable::StorePlan plan;
+    plan.short_write_rate = 0.8;
+    durable::StableStore store(plan);
+    std::vector<std::uint8_t> payload(4096, 0xAB);
+    ASSERT_TRUE(store.append("f", payload).ok());
+    ASSERT_TRUE(store.syncRetry("f", 64).ok());
+    EXPECT_GT(store.stats().short_writes, 0u)
+        << "at 0.8 rate some syncs must have been short";
+    store.crash();
+    store.restart();
+    auto r = store.read("f");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), payload);
+}
+
+TEST(StableStore, DeadStoreIsUnavailableUntilRestart)
+{
+    durable::StableStore store;
+    store.crash();
+    EXPECT_TRUE(store.dead());
+    auto st = store.append("f", bytesOf("x"));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), common::ErrorCode::Unavailable);
+    store.restart();
+    EXPECT_FALSE(store.dead());
+    EXPECT_TRUE(store.append("f", bytesOf("x")).ok());
+}
+
+TEST(StableStore, RenameIsAtomicAndKeepsPendingTail)
+{
+    durable::StableStore store;
+    ASSERT_TRUE(store.append("a", bytesOf("synced")).ok());
+    ASSERT_TRUE(store.sync("a").ok());
+    ASSERT_TRUE(store.append("a", bytesOf("+tail")).ok());
+    ASSERT_TRUE(store.rename("a", "b").ok());
+    EXPECT_FALSE(store.exists("a"));
+    auto r = store.read("b");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), bytesOf("synced+tail"));
+    store.crash();
+    store.restart();
+    r = store.read("b");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), bytesOf("synced"))
+        << "rename is durable; the pending tail still dies";
+}
+
+TEST(StableStore, ModeledLatencyAccumulates)
+{
+    durable::StableStore store;
+    const double t0 = store.stats().sim_us;
+    ASSERT_TRUE(store.append("f", bytesOf("x")).ok());
+    ASSERT_TRUE(store.sync("f").ok());
+    ASSERT_TRUE(store.rename("f", "g").ok());
+    (void)store.read("g");
+    EXPECT_GT(store.stats().sim_us, t0)
+        << "every operation must charge simulated time";
+}
+
+TEST(Wal, RoundTripsRecordsInOrder)
+{
+    durable::StableStore store;
+    durable::WalWriter w(store, "wal", 1);
+    ASSERT_TRUE(w.append(1, bytesOf("alpha")).ok());
+    ASSERT_TRUE(w.append(2, bytesOf("beta")).ok());
+    EXPECT_EQ(w.pendingRecords(), 2u);
+    ASSERT_TRUE(w.sync().ok());
+    EXPECT_EQ(w.pendingRecords(), 0u);
+    auto bytes = store.read("wal");
+    ASSERT_TRUE(bytes.ok());
+    const auto rr = durable::readWal(bytes.value(), 1);
+    ASSERT_EQ(rr.records.size(), 2u);
+    EXPECT_FALSE(rr.torn);
+    EXPECT_EQ(rr.records[0].type, 1u);
+    EXPECT_EQ(rr.records[0].seq, 1u);
+    EXPECT_EQ(rr.records[0].payload, bytesOf("alpha"));
+    EXPECT_EQ(rr.records[1].type, 2u);
+    EXPECT_EQ(rr.records[1].seq, 2u);
+}
+
+TEST(Wal, CrashLeavesTheSyncedPrefix)
+{
+    durable::StorePlan plan;
+    plan.torn_write_rate = 1.0; // worst case: tails tear, not vanish
+    durable::StableStore store(plan);
+    durable::WalWriter w(store, "wal", 1);
+    ASSERT_TRUE(w.append(1, bytesOf("committed")).ok());
+    ASSERT_TRUE(w.sync().ok());
+    ASSERT_TRUE(w.append(1, bytesOf("in the group buffer")).ok());
+    store.crash();
+    store.restart();
+    auto bytes = store.read("wal");
+    ASSERT_TRUE(bytes.ok());
+    const auto rr = durable::readWal(bytes.value(), 1);
+    ASSERT_EQ(rr.records.size(), 1u)
+        << "exactly the synced record survives";
+    EXPECT_EQ(rr.records[0].payload, bytesOf("committed"));
+}
+
+TEST(Wal, SequenceDiscontinuityStopsReplay)
+{
+    // A frame from another segment spliced after the prefix must not
+    // be silently accepted: its sequence number gives it away.
+    auto good = durable::encodeWalRecord(1, 1, bytesOf("a"));
+    const auto skipped = durable::encodeWalRecord(1, 3, bytesOf("b"));
+    good.insert(good.end(), skipped.begin(), skipped.end());
+    const auto rr = durable::readWal(good, 1);
+    EXPECT_EQ(rr.records.size(), 1u);
+    EXPECT_TRUE(rr.torn);
+    EXPECT_NE(rr.tail_error.find("sequence"), std::string::npos)
+        << rr.tail_error;
+}
+
+TEST(Manifest, RoundTrips)
+{
+    durable::Manifest m;
+    m.generation = 42;
+    m.checkpoint_file = "d/ckpt.42";
+    m.checkpoint_bytes = 123;
+    m.checkpoint_digest = 0xDEADBEEFull;
+    m.wal_file = "d/wal.42";
+    const auto img = durable::serializeManifest(m);
+    auto r = durable::parseManifest(img);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r.value().generation, 42u);
+    EXPECT_EQ(r.value().checkpoint_file, "d/ckpt.42");
+    EXPECT_EQ(r.value().checkpoint_bytes, 123u);
+    EXPECT_EQ(r.value().checkpoint_digest, 0xDEADBEEFull);
+    EXPECT_EQ(r.value().wal_file, "d/wal.42");
+}
+
+TEST(CheckpointStore, InstallLoadAndGc)
+{
+    durable::StableStore store;
+    durable::CheckpointStore cs(store, "d");
+    EXPECT_FALSE(cs.hasState());
+    const auto a = bytesOf("generation-one-payload");
+    auto r1 = cs.install(1, a);
+    ASSERT_TRUE(r1.ok()) << r1.status().toString();
+    EXPECT_TRUE(cs.hasState());
+    const auto b = bytesOf("generation-two-payload");
+    auto r2 = cs.install(2, b, r1.value().wal_file);
+    ASSERT_TRUE(r2.ok());
+    auto loaded = cs.loadLatest();
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().manifest.generation, 2u);
+    EXPECT_EQ(loaded.value().payload, b);
+    // Generation 1's files must have been garbage-collected.
+    EXPECT_FALSE(store.exists(cs.checkpointFile(1)));
+    EXPECT_FALSE(store.exists(cs.walFile(1)));
+    EXPECT_TRUE(store.exists(cs.checkpointFile(2)));
+    EXPECT_TRUE(store.exists(cs.walFile(2)));
+}
+
+/**
+ * The atomic-install sweep. A fresh store per crash point: install
+ * generation 1 cleanly, then arm the store to crash after exactly j
+ * successful mutating operations and attempt to install generation 2
+ * -- with torn writes guaranteed and heavy bit rot inside every torn
+ * region. After restart, loadLatest() must return a fully valid
+ * generation: payload A with generation 1, or payload B with
+ * generation 2. Anything else (a parse error, a digest pass on mixed
+ * bytes, a blend) fails the sweep.
+ */
+TEST(CheckpointStore, CrashAtEveryInstallOpYieldsGenNOrN1)
+{
+    const auto a = bytesOf("payload-of-generation-one........");
+    const auto b = bytesOf("PAYLOAD-OF-GENERATION-TWO-------!");
+
+    // Upper bound for the sweep: ops in one uninterrupted install.
+    std::uint64_t install_ops = 0;
+    {
+        durable::StableStore store;
+        durable::CheckpointStore cs(store, "d");
+        auto r1 = cs.install(1, a);
+        ASSERT_TRUE(r1.ok());
+        const std::uint64_t before = store.mutatingOps();
+        ASSERT_TRUE(cs.install(2, b, r1.value().wal_file).ok());
+        install_ops = store.mutatingOps() - before;
+    }
+    ASSERT_GE(install_ops, 5u);
+
+    int gen1_survivals = 0, gen2_survivals = 0;
+    for (std::uint64_t j = 0; j <= install_ops; ++j) {
+        durable::StorePlan plan;
+        plan.seed = 1000 + j;
+        plan.torn_write_rate = 1.0;
+        plan.bit_rot_rate = 0.5;
+        durable::StableStore store(plan);
+        durable::CheckpointStore cs(store, "d");
+        auto r1 = cs.install(1, a);
+        ASSERT_TRUE(r1.ok());
+
+        store.crashAfterOps(j);
+        (void)cs.install(2, b, r1.value().wal_file);
+        if (!store.dead()) {
+            // j exceeded the ops the install needed; nothing to
+            // sweep past this point.
+            EXPECT_EQ(j, install_ops);
+            store.crash();
+        }
+        store.restart();
+
+        durable::CheckpointStore recovered(store, "d");
+        ASSERT_TRUE(recovered.hasState())
+            << "crash after op " << j
+            << " lost the installed generation entirely";
+        auto loaded = recovered.loadLatest();
+        ASSERT_TRUE(loaded.ok())
+            << "crash after op " << j << ": "
+            << loaded.status().toString();
+        if (loaded.value().manifest.generation == 1) {
+            EXPECT_EQ(loaded.value().payload, a)
+                << "crash after op " << j << ": generation 1 blended";
+            ++gen1_survivals;
+        } else {
+            EXPECT_EQ(loaded.value().manifest.generation, 2u);
+            EXPECT_EQ(loaded.value().payload, b)
+                << "crash after op " << j << ": generation 2 blended";
+            ++gen2_survivals;
+        }
+    }
+    // The sweep must actually cross the commit point: some crashes
+    // land before it (gen 1 survives) and some after (gen 2).
+    EXPECT_GT(gen1_survivals, 0);
+    EXPECT_GT(gen2_survivals, 0);
+}
+
+} // namespace

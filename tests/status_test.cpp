@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
+#include <string>
 
 #include "common/status.hpp"
 #include "gpusim/device_memory.hpp"
@@ -56,15 +58,28 @@ TEST(Status, ToStringOmitsUnsetFields)
     EXPECT_EQ(s.find("barrier="), std::string::npos) << s;
 }
 
-TEST(Status, EveryCodeHasAName)
+TEST(Status, ErrorCodeNamesAreExhaustiveAndDistinct)
 {
-    for (int c = 0; c <= static_cast<int>(ErrorCode::RetryExhausted);
-         ++c) {
+    // kNumErrorCodes tracks the enum; every value must map to its
+    // own name, and none may fall through to the "unknown" default.
+    // A new ErrorCode without a switch case fails here instead of
+    // surfacing as an unreadable diagnostic in a fault log.
+    std::set<std::string> seen;
+    for (int c = 0; c < common::kNumErrorCodes; ++c) {
         const char* name =
             common::errorCodeName(static_cast<ErrorCode>(c));
-        ASSERT_NE(name, nullptr);
-        EXPECT_GT(std::string(name).size(), 0u);
+        ASSERT_NE(name, nullptr) << "code " << c;
+        const std::string s(name);
+        EXPECT_GT(s.size(), 0u) << "code " << c;
+        EXPECT_NE(s, "unknown")
+            << "code " << c << " fell through the name switch";
+        EXPECT_TRUE(seen.insert(s).second)
+            << "code " << c << " reuses the name \"" << s << "\"";
     }
+    EXPECT_EQ(common::errorCodeName(
+                  static_cast<ErrorCode>(common::kNumErrorCodes)),
+              std::string("unknown"))
+        << "out-of-range codes must hit the default";
 }
 
 TEST(Result, HoldsValueOrStatus)

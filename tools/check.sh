@@ -20,6 +20,9 @@
 # transient fault rate) and the fleet-failover soak (a wedged replica
 # AND a 10% transient rate on a survivor): both benches exit nonzero
 # unless the server survives with fully reconciled request accounting.
+# It closes with a crash-point explorer smoke: 8 host-crash boundaries
+# swept under ASan, each recovering the durable fleet from simulated
+# stable storage (DESIGN.md section 4.10).
 #
 # A fourth pass rebuilds with gcov instrumentation (-DVPPS_COVERAGE)
 # and gates line coverage of the observability layer (src/obs): the
@@ -75,6 +78,9 @@ echo "== serving-overload soak (2x capacity, fault rate 0.15) =="
 
 echo "== fleet-failover soak (device loss + fault rate 0.10) =="
 "$ASAN_DIR"/bench/fleet_failover --faults
+
+echo "== crash-point explorer smoke (8 boundaries under ASan) =="
+"$ASAN_DIR"/tools/crash_explore --points 8
 
 echo "== observability coverage gate (src/obs >= 90% lines) =="
 cmake -B "$COV_DIR" -S . -DVPPS_COVERAGE=ON \
