@@ -68,6 +68,8 @@ laneName(std::int32_t lane)
         return "fleet";
       case kLaneDurable:
         return "durable";
+      case kLaneComm:
+        return "comm";
       default:
         if (lane >= kLaneReplicaBase)
             return "replica " + std::to_string(lane -

@@ -127,6 +127,15 @@ struct VppsOptions
     long long fault_seed = -1;
 
     /** @} */
+
+    /**
+     * Optional decoded-script cache shared across handles (borrowed,
+     * must outlive the handle). Data-parallel replicas point every
+     * per-replica handle at one cache so each distinct script is
+     * decoded once for the whole job; null gives the handle a private
+     * cache (the single-device behavior).
+     */
+    class ScriptCache* script_cache = nullptr;
 };
 
 /** A contiguous run of matrix rows cached by one VPP. */

@@ -45,7 +45,7 @@ tryObtainKernel(graph::Model& model, gpusim::Device& device,
 
 Handle::Handle(Defer, gpusim::Device& device, VppsOptions opts)
     : device_(device), opts_(opts), pipeline_(opts.async),
-      executor_(device, opts.host_threads)
+      executor_(device, opts.host_threads, opts.script_cache)
 {
 }
 
@@ -350,6 +350,23 @@ Handle::inferTry(graph::Model& model, graph::ComputationGraph& cg,
     return r;
 }
 
+common::Result<float>
+Handle::fbGradTry(graph::Model& model, graph::ComputationGraph& cg,
+                  graph::Expr loss)
+{
+    // Same batch as fbTry -- same script, costs, and recovery ladder
+    // -- but with every SGD store suppressed, so the batch's gradient
+    // stays in each parameter's grad region for the caller to
+    // all-reduce and apply itself. Backward scheduling zeroes the
+    // grad regions at the start of every generated batch, so each
+    // call yields exactly its own batch's gradient even though
+    // nothing here consumes (and zeroes) the previous one.
+    apply_updates_ = false;
+    auto r = fbTry(model, cg, loss);
+    apply_updates_ = true;
+    return r;
+}
+
 double
 Handle::estimateBatchUs(std::size_t batch_items,
                         double nodes_per_item) const
@@ -610,7 +627,7 @@ Handle::fbTry(graph::Model& model, graph::ComputationGraph& cg,
 
         const std::uint64_t wecc_before =
             inj ? inj->injected().weight_ecc : 0;
-        auto run = executor_.run(k, gb, model, cg);
+        auto run = executor_.run(k, gb, model, cg, apply_updates_);
         // Weight-ECC reloads recover inside the executor (a second
         // prologue fetch); mirror the injector's count so the
         // counters stay category-for-category comparable even when a

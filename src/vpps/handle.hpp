@@ -210,6 +210,21 @@ class Handle
                                    graph::Expr loss);
 
     /**
+     * Gradient-only forward-backward: identical to fbTry() -- same
+     * script, same recovery ladder, same modeled time -- except no
+     * parameter update is applied anywhere, so after the call each
+     * parameter's grad region holds this batch's gradient and its
+     * value is bitwise unchanged. The data-parallel driver runs one
+     * microbatch per call, all-reduces the gradients in canonical
+     * order, and applies the update itself (train/data_parallel.hpp).
+     * Callers wanting the *current* batch's loss construct the handle
+     * with opts.async = false, as the serving layer does.
+     */
+    common::Result<float> fbGradTry(graph::Model& model,
+                                    graph::ComputationGraph& cg,
+                                    graph::Expr loss);
+
+    /**
      * Cost-model prior for one batch's service time (host + device),
      * us. The serving layer uses it for admission feasibility until
      * (or instead of, when probes fail under faults) calibration
@@ -301,6 +316,10 @@ class Handle
     VppsStats stats_;
     double jit_seconds_ = 0.0;
     float pending_loss_ = 0.0f;
+
+    /** False only inside fbGradTry(): the executor skips SGD stores
+     *  (but not their time charges) so gradients survive the batch. */
+    bool apply_updates_ = true;
 
     /** @name Degradation state
      *  @{ */

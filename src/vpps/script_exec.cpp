@@ -9,6 +9,7 @@
 #include "common/thread_pool.hpp"
 #include "obs/trace.hpp"
 #include "tensor/host_math.hpp"
+#include "vpps/script_cache.hpp"
 
 namespace vpps {
 
@@ -20,12 +21,6 @@ namespace {
 /** Fixed interpreter overhead per instruction: shared-memory fetch,
  *  decode switch, operand unpacking. */
 constexpr double kDecodeUs = 0.10;
-
-/** Evict-all budget for the decoded-program cache, in instructions
- *  (~24 bytes each). Large enough to hold every distinct script of a
- *  batch-size sweep; bounded so long multi-model runs cannot grow
- *  without limit. */
-constexpr std::size_t kMaxCachedInstructions = 4u << 20;
 
 /** Rounds with less total work than this run inline: the worker
  *  wake-up costs more than it saves on near-empty phases. */
@@ -68,14 +63,20 @@ struct VppSink
 
 } // namespace
 
-ScriptExecutor::ScriptExecutor(gpusim::Device& device, int threads)
-    : device_(device), threads_(common::resolveThreadCount(threads))
+ScriptExecutor::ScriptExecutor(gpusim::Device& device, int threads,
+                               ScriptCache* shared_cache)
+    : device_(device), threads_(common::resolveThreadCount(threads)),
+      cache_(shared_cache)
 {
+    if (cache_ == nullptr) {
+        owned_cache_ = std::make_unique<ScriptCache>();
+        cache_ = owned_cache_.get();
+    }
 }
 
 ScriptExecutor::~ScriptExecutor() = default;
 
-common::Result<const DecodedProgram*>
+common::Result<std::shared_ptr<const DecodedProgram>>
 ScriptExecutor::decoded(const Script& script,
                         const graph::Model& model)
 {
@@ -85,19 +86,14 @@ ScriptExecutor::decoded(const Script& script,
     // Content digest over the full sealed buffer (the same value the
     // transfer checksum uses). Identical batches generate identical
     // words, so replayed minibatches hit here and skip the whole
-    // decode-and-validate pass. The model's param count folds into
-    // the key because operand validation depends on it.
-    const std::uint64_t h =
-        script.checksum() ^
-        (0x9E3779B97F4A7C15ull *
-         (static_cast<std::uint64_t>(model.numParams()) + 1));
-    if (auto it = decode_cache_.find(h); it != decode_cache_.end())
-        return static_cast<const DecodedProgram*>(it->second.get());
-
-    if (cached_instructions_ > kMaxCachedInstructions) {
-        decode_cache_.clear();
-        cached_instructions_ = 0;
-    }
+    // decode-and-validate pass -- across all executors sharing the
+    // cache. The model's param count and the pool capacity fold into
+    // the key because operand validation depends on both.
+    const std::uint64_t h = ScriptCache::key(
+        script.checksum(), model.numParams(),
+        device_.memory().capacity());
+    if (auto hit = cache_->find(h))
+        return hit;
 
     const auto& expected = script.expectedSignals();
     std::vector<std::uint64_t> emitted(expected.size(), 0);
@@ -271,16 +267,13 @@ ScriptExecutor::decoded(const Script& script,
                            emitted[b]))
                 .withBarrier(static_cast<long long>(b));
 
-    cached_instructions_ += prog->total_instructions;
-    auto& slot = decode_cache_[h];
-    slot = std::move(prog);
-    return static_cast<const DecodedProgram*>(slot.get());
+    return cache_->insert(h, std::move(prog));
 }
 
 common::Result<RunResult>
 ScriptExecutor::run(const CompiledKernel& kernel,
                     const GeneratedBatch& batch, graph::Model& model,
-                    graph::ComputationGraph& cg)
+                    graph::ComputationGraph& cg, bool apply_updates)
 {
     using common::ErrorCode;
     using common::Status;
@@ -293,7 +286,11 @@ ScriptExecutor::run(const CompiledKernel& kernel,
     auto dec = decoded(script, model);
     if (!dec.ok())
         return dec.takeStatus();
-    const DecodedProgram& prog = *dec.value();
+    // Holding the shared_ptr keeps the program valid even if another
+    // cache user triggers an evict-all while this run is in flight.
+    const std::shared_ptr<const DecodedProgram> prog_guard =
+        dec.value();
+    const DecodedProgram& prog = *prog_guard;
     if (prog.num_vpps != num_vpps)
         return Status::failure(
             ErrorCode::MalformedScript,
@@ -683,7 +680,11 @@ ScriptExecutor::run(const CompiledKernel& kernel,
             sink.traffic.addStore(MemSpace::ActGrads, 4.0 * len);
             break;
           case Opcode::UpdateVec:
-            if (func)
+            // Gradient-only mode leaves the parameter and its grad
+            // untouched (the data-parallel driver applies the
+            // all-reduced update itself); the cost model is charged
+            // either way so timing does not depend on the mode.
+            if (func && apply_updates)
                 tensor::sgdUpdate(mem.data(in.operands[0]),
                                   mem.data(in.operands[1]), imm,
                                   model.learning_rate,
@@ -955,12 +956,14 @@ ScriptExecutor::run(const CompiledKernel& kernel,
     // -- Epilogue: apply register-cached gradients onto the DRAM
     // master copies (store-only: both W and dW live in registers).
     if (plan.gradientsCached()) {
-        for (graph::ParamId m : model.weightMatrices()) {
-            auto& p = model.param(m);
-            tensor::sgdUpdate(mem.data(p.value), mem.data(p.grad),
-                              p.shape.size(), model.learning_rate,
-                              model.weight_decay);
-        }
+        if (apply_updates)
+            for (graph::ParamId m : model.weightMatrices()) {
+                auto& p = model.param(m);
+                tensor::sgdUpdate(mem.data(p.value), mem.data(p.grad),
+                                  p.shape.size(),
+                                  model.learning_rate,
+                                  model.weight_decay);
+            }
         for (int vpp = 0; vpp < num_vpps; ++vpp) {
             const double bytes = plan.cachedWeightBytes(vpp);
             KernelCost epilogue;
@@ -1012,9 +1015,11 @@ ScriptExecutor::run(const CompiledKernel& kernel,
         }
         for (graph::ParamId m : model.weightMatrices()) {
             auto& p = model.param(m);
-            tensor::sgdUpdate(mem.data(p.value), mem.data(p.grad),
-                              p.shape.size(), model.learning_rate,
-                              model.weight_decay);
+            if (apply_updates)
+                tensor::sgdUpdate(mem.data(p.value), mem.data(p.grad),
+                                  p.shape.size(),
+                                  model.learning_rate,
+                                  model.weight_decay);
             KernelCost update;
             update.flops = 3.0 * static_cast<double>(p.shape.size());
             update.dram_load_bytes = 2.0 * p.bytes();

@@ -44,6 +44,8 @@ class ThreadPool;
 
 namespace vpps {
 
+class ScriptCache;
+
 /** Outcome of one forward-backward kernel invocation. */
 struct RunResult
 {
@@ -113,8 +115,12 @@ class ScriptExecutor
      * independent per-VPP segments concurrently; <= 0 defers to the
      * VPPS_HOST_THREADS environment variable, else 1 (serial).
      * Results are bitwise identical for every thread count.
+     * @param shared_cache optional decoded-script cache shared with
+     * other executors (data-parallel replicas decode each script
+     * once); when null the executor owns a private cache.
      */
-    explicit ScriptExecutor(gpusim::Device& device, int threads = 0);
+    explicit ScriptExecutor(gpusim::Device& device, int threads = 0,
+                            ScriptCache* shared_cache = nullptr);
     ~ScriptExecutor();
 
     /** Resolved host thread count. */
@@ -133,11 +139,20 @@ class ScriptExecutor
      * barrier involved. On a stalled schedule the partial execution's
      * traffic and device time are still accounted (that work was
      * wasted on the real GPU too).
+     *
+     * With @p apply_updates false the pass is gradient-only: every
+     * SGD parameter update (the UpdateVec interpretation, the
+     * cached-gradient epilogue, and the uncached dense updates) skips
+     * its functional store while still charging its modeled time, so
+     * gradients stay readable in each parameter's grad region and a
+     * data-parallel driver can apply the canonical all-reduced update
+     * itself. Timing is identical either way.
      */
     common::Result<RunResult> run(const CompiledKernel& kernel,
                                   const GeneratedBatch& batch,
                                   graph::Model& model,
-                                  graph::ComputationGraph& cg);
+                                  graph::ComputationGraph& cg,
+                                  bool apply_updates = true);
 
   private:
     /**
@@ -151,18 +166,21 @@ class ScriptExecutor
      * operand offset/length pair (against the device pool capacity).
      * A script that decodes OK therefore cannot drive the interpreter
      * out of bounds, no matter where its bytes came from.
+     *
+     * The returned shared_ptr keeps the program alive across an
+     * evict-all another cache user may trigger mid-run.
      */
-    common::Result<const DecodedProgram*>
+    common::Result<std::shared_ptr<const DecodedProgram>>
     decoded(const Script& script, const graph::Model& model);
 
     gpusim::Device& device_;
     int threads_;
     std::unique_ptr<common::ThreadPool> pool_;
 
-    /** Decoded programs keyed by script-content hash. */
-    std::unordered_map<std::uint64_t, std::unique_ptr<DecodedProgram>>
-        decode_cache_;
-    std::size_t cached_instructions_ = 0;
+    /** Private cache backing `cache_` when none was shared in. */
+    std::unique_ptr<ScriptCache> owned_cache_;
+    /** Decoded programs keyed by script/model/pool content hash. */
+    ScriptCache* cache_;
 };
 
 } // namespace vpps

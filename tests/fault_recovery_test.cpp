@@ -29,6 +29,7 @@
 #include "models/tree_lstm.hpp"
 #include "serve/arrival.hpp"
 #include "serve/server.hpp"
+#include "train/data_parallel.hpp"
 #include "train/harness.hpp"
 #include "vpps/handle.hpp"
 
@@ -378,6 +379,105 @@ TEST(FaultRecovery, EnvAndOptionPlumbingInstallInjectors)
         vpps::Handle handle(m->model(), f.device, recoveryOptions());
         EXPECT_EQ(f.device.faults(), nullptr);
     }
+}
+
+/** One data-parallel replica backed by the seeded Factory, with an
+ *  optional fault plan installed before the driver builds handles. */
+class DpReplica : public train::ReplicaContext
+{
+  public:
+    explicit DpReplica(const gpusim::FaultPlan* plan = nullptr)
+        : bm_(f_.make("Tree-LSTM"))
+    {
+        if (plan) f_.device.installFaults(*plan);
+    }
+
+    gpusim::Device& device() override { return f_.device; }
+    models::BenchmarkModel& bench() override { return *bm_; }
+
+  private:
+    Factory f_;
+    std::unique_ptr<models::BenchmarkModel> bm_;
+};
+
+train::DataParallelOptions
+dpOptions(std::size_t replicas)
+{
+    train::DataParallelOptions opts;
+    opts.replicas = replicas;
+    opts.microbatches = 8;
+    opts.microbatch_size = 2;
+    opts.steps = 3;
+    opts.topology =
+        gpusim::Topology::uniform(8, gpusim::LinkType::NVLink);
+    opts.vpps = recoveryOptions();
+    return opts;
+}
+
+/**
+ * Fault layering (ISSUE 9): PR-2 transient faults injected into a
+ * data-parallel run recover bitwise -- losses and final parameters
+ * match the fault-free run exactly -- because each microbatch's
+ * recovery happens inside fbGradTry before its gradient enters the
+ * canonical reduction, and fault draws never consult the collective
+ * layer. A timing-only device stall layered on top must likewise
+ * leave the arithmetic untouched while costing simulated time.
+ */
+TEST(FaultRecovery, DataParallelTransientFaultsAreBitwiseTransparent)
+{
+    auto clean = train::trainDataParallel(
+        [](std::size_t) { return std::make_unique<DpReplica>(); },
+        dpOptions(2));
+    ASSERT_TRUE(clean.ok()) << clean.status().toString();
+    ASSERT_TRUE(clean.value().completed)
+        << clean.value().status.toString();
+    EXPECT_EQ(clean.value().recoveries, 0u);
+
+    // Per-replica transient plans (distinct seeds), plus a transient
+    // whole-device stall on replica 1.
+    auto faulty = train::trainDataParallel(
+        [](std::size_t r) {
+            gpusim::FaultPlan plan =
+                gpusim::FaultPlan::uniform(0.1, 40 + r);
+            if (r == 1)
+            {
+                plan.stall_at_us = 200.0;
+                plan.stall_duration_us = 5'000.0;
+            }
+            return std::make_unique<DpReplica>(&plan);
+        },
+        dpOptions(2));
+    ASSERT_TRUE(faulty.ok()) << faulty.status().toString();
+    const train::DataParallelReport& rep = faulty.value();
+    ASSERT_TRUE(rep.completed) << rep.status.toString();
+    EXPECT_GT(rep.recoveries, 0u)
+        << "the plan injected nothing -- raise the rate";
+
+    expectBitwiseEqual(clean.value().losses, rep.losses,
+                       "data-parallel faulty losses");
+    expectBitwiseEqual(clean.value().final_params, rep.final_params,
+                       "data-parallel faulty params");
+    EXPECT_TRUE(rep.replicas_identical);
+    // Recovery and the stall cost simulated time, never correctness.
+    EXPECT_GT(rep.total_us, clean.value().total_us);
+}
+
+/** A wedged replica ends the run with a structured DeviceLost error
+ *  (completed == false), never a panic or a silent wrong answer. */
+TEST(FaultRecovery, DataParallelDeviceLossSurfacesStructured)
+{
+    auto run = train::trainDataParallel(
+        [](std::size_t r) {
+            gpusim::FaultPlan plan;
+            if (r == 1) plan.wedge_at_us = 100.0;
+            return std::make_unique<DpReplica>(&plan);
+        },
+        dpOptions(2));
+    ASSERT_TRUE(run.ok()) << run.status().toString();
+    const train::DataParallelReport& rep = run.value();
+    EXPECT_FALSE(rep.completed);
+    EXPECT_EQ(rep.status.code(), common::ErrorCode::DeviceLost);
+    EXPECT_LT(rep.steps_done, 3u);
 }
 
 } // namespace

@@ -56,6 +56,12 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 VPPS_HOST_THREADS=8 ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -L tier1
 
+# Data-parallel training smoke under TSan: the driver, the shared
+# script cache, and the 8-thread interpreter all race-checked in one
+# functional run (the bench exits nonzero on any bitwise divergence).
+echo "== dist-training smoke (TSan build, 8 host threads) =="
+"$BUILD_DIR"/bench/dist_training --smoke --threads 8
+
 if [ "$TIER1_ONLY" = 1 ]; then
     echo "== --tier1: quick mode done, skipping soak/ASan/coverage =="
     exit 0
@@ -82,21 +88,30 @@ echo "== fleet-failover soak (device loss + fault rate 0.10) =="
 echo "== crash-point explorer smoke (8 boundaries under ASan) =="
 "$ASAN_DIR"/tools/crash_explore --points 8
 
-echo "== observability coverage gate (src/obs >= 90% lines) =="
+echo "== coverage gate (src/obs and src/gpusim/topology >= 90%) =="
 cmake -B "$COV_DIR" -S . -DVPPS_COVERAGE=ON \
       -DCMAKE_BUILD_TYPE=Debug
 cmake --build "$COV_DIR" -j"$(nproc)" --target vpps_tests
 ctest --test-dir "$COV_DIR" --output-on-failure \
-      -R 'TraceUnit|GoldenTrace|MetricsUnit|MetricsReconcile|MetricsSoak'
+      -R 'TraceUnit|GoldenTrace|MetricsUnit|MetricsReconcile|MetricsSoak|Topology|AllReduceCost|CollectiveEquivalence|TopologyFuzz|DistDeterminism'
 if command -v gcovr >/dev/null 2>&1; then
     gcovr --root . --filter 'src/obs/' --print-summary \
+          --fail-under-line 90 "$COV_DIR"
+    gcovr --root . --filter 'src/gpusim/topology' --print-summary \
           --fail-under-line 90 "$COV_DIR"
 else
     # CMake names the data files <src>.cpp.gcda, which gcov's -o
     # lookup does not resolve; hand it the .gcda files directly.
-    gcov -n "$COV_DIR"/src/CMakeFiles/vpps_lib.dir/obs/*.cpp.gcda \
-        | awk '
-        /^File / { keep = index($0, "src/obs/") > 0 }
+    # One gated subtree per awk pass.
+    for subtree in obs gpusim; do
+        case "$subtree" in
+            obs) match="src/obs/"
+                 files="$COV_DIR/src/CMakeFiles/vpps_lib.dir/obs/*.cpp.gcda" ;;
+            gpusim) match="src/gpusim/topology"
+                 files="$COV_DIR/src/CMakeFiles/vpps_lib.dir/gpusim/topology*.cpp.gcda" ;;
+        esac
+        gcov -n $files | awk -v match_path="$match" '
+        /^File / { keep = index($0, match_path) > 0 }
         keep && /^Lines executed:/ {
             split($0, parts, ":"); split(parts[2], a, "% of ")
             covered += a[1] / 100.0 * a[2]; total += a[2]; keep = 0
@@ -106,8 +121,9 @@ else
                 print "coverage: no gcov data found"; exit 1
             }
             pct = 100.0 * covered / total
-            printf "src/obs line coverage: %.2f%% of %d lines\n", \
-                   pct, total
+            printf "%s line coverage: %.2f%% of %d lines\n", \
+                   match_path, pct, total
             exit pct >= 90.0 ? 0 : 1
         }'
+    done
 fi
