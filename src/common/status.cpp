@@ -25,6 +25,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::ShortWrite: return "short_write";
       case ErrorCode::DataLoss: return "data_loss";
       case ErrorCode::Unavailable: return "unavailable";
+      case ErrorCode::LinkDown: return "link_down";
+      case ErrorCode::Partitioned: return "partitioned";
+      case ErrorCode::FencedEpoch: return "fenced_epoch";
     }
     return "unknown";
 }

@@ -39,6 +39,9 @@ enum class ErrorCode : std::uint8_t
     ShortWrite,      //!< a stable-store sync persisted only a prefix
     DataLoss,        //!< durable bytes failed digest/size validation
     Unavailable,     //!< the backing service is down (host crash)
+    LinkDown,        //!< an interconnect link is inside a down window
+    Partitioned,     //!< no live route to the peer (network partition)
+    FencedEpoch,     //!< the dispatch epoch was fenced; result is stale
 };
 
 /**
@@ -47,7 +50,7 @@ enum class ErrorCode : std::uint8_t
  * every code stringifies to a distinct non-"unknown" name, so adding
  * a code without bumping this (or naming it) fails tier-1.
  */
-inline constexpr std::uint8_t kNumErrorCodes = 15;
+inline constexpr std::uint8_t kNumErrorCodes = 18;
 
 /** @return a short stable name for an error category. */
 const char* errorCodeName(ErrorCode code);

@@ -1,8 +1,53 @@
 #include "gpusim/faults.hpp"
 
 #include <cstdlib>
+#include <limits>
 
 namespace gpusim {
+
+namespace {
+
+/** Does fault entry @p f cover the unordered pair (a,b)? */
+bool
+coversPair(const LinkFault& f, std::size_t a, std::size_t b)
+{
+    return (f.a == a && f.b == b) || (f.a == b && f.b == a);
+}
+
+/** Is @p t inside the window [at, at + length), where length <= 0
+ *  means "never ends"? A negative @p at disables the window. */
+bool
+insideWindow(double at, double length, double t)
+{
+    if (at < 0.0 || t < at)
+        return false;
+    return length <= 0.0 || t < at + length;
+}
+
+} // namespace
+
+void
+FaultPlan::addPartition(const std::vector<std::size_t>& island,
+                        std::size_t num_devices, double at_us,
+                        double for_us)
+{
+    std::vector<bool> in_island(num_devices, false);
+    for (const std::size_t d : island)
+        if (d < num_devices)
+            in_island[d] = true;
+    for (std::size_t a = 0; a < num_devices; ++a) {
+        for (std::size_t b = a + 1; b < num_devices; ++b) {
+            if (in_island[a] == in_island[b])
+                continue;
+            LinkFault cut;
+            cut.a = a;
+            cut.b = b;
+            cut.down_at_us = at_us;
+            cut.down_for_us = for_us;
+            link_faults.push_back(cut);
+        }
+    }
+}
 
 FaultPlan
 FaultPlan::uniform(double rate, std::uint64_t seed)
@@ -34,7 +79,9 @@ FaultPlan::fromEnv()
 }
 
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(plan), rng_(plan.seed)
+    : plan_(plan), rng_(plan.seed), link_rng_(plan.link_seed),
+      link_down_logged_(plan_.link_faults.size(), false),
+      link_degrade_logged_(plan_.link_faults.size(), false)
 {
 }
 
@@ -143,6 +190,86 @@ FaultInjector::hostCrashAtBoundary(std::uint64_t events_processed)
         ++log_.host_crashes;
     }
     return true;
+}
+
+bool
+FaultInjector::linkDown(std::size_t a, std::size_t b, double now_us)
+{
+    bool down = false;
+    for (std::size_t i = 0; i < plan_.link_faults.size(); ++i) {
+        const LinkFault& f = plan_.link_faults[i];
+        if (!coversPair(f, a, b) ||
+            !insideWindow(f.down_at_us, f.down_for_us, now_us))
+            continue;
+        if (!link_down_logged_[i]) {
+            link_down_logged_[i] = true;
+            ++log_.link_downs;
+        }
+        down = true;
+    }
+    return down;
+}
+
+double
+FaultInjector::linkUpAtUs(std::size_t a, std::size_t b,
+                          double now_us) const
+{
+    // Windows may abut or overlap; hop past each covering window
+    // until none covers t. Terminates: each iteration retires at
+    // least one entry (t only moves forward past its end).
+    double t = now_us;
+    for (std::size_t pass = 0; pass <= plan_.link_faults.size();
+         ++pass) {
+        bool covered = false;
+        for (const LinkFault& f : plan_.link_faults) {
+            if (!coversPair(f, a, b) ||
+                !insideWindow(f.down_at_us, f.down_for_us, t))
+                continue;
+            if (f.down_for_us <= 0.0)
+                return std::numeric_limits<double>::infinity();
+            t = f.down_at_us + f.down_for_us;
+            covered = true;
+        }
+        if (!covered)
+            return t;
+    }
+    return t;
+}
+
+std::uint64_t
+FaultInjector::linkDegradeFactor(std::size_t a, std::size_t b,
+                                 double now_us)
+{
+    std::uint64_t factor = 1;
+    for (std::size_t i = 0; i < plan_.link_faults.size(); ++i) {
+        const LinkFault& f = plan_.link_faults[i];
+        if (f.degrade_factor <= 1 || !coversPair(f, a, b) ||
+            !insideWindow(f.degrade_at_us, f.degrade_for_us, now_us))
+            continue;
+        if (!link_degrade_logged_[i]) {
+            link_degrade_logged_[i] = true;
+            ++log_.link_degrades;
+        }
+        factor *= f.degrade_factor;
+    }
+    return factor;
+}
+
+bool
+FaultInjector::loseLinkMessage(std::size_t a, std::size_t b)
+{
+    // One draw per scheduled loss entry keeps the dedicated stream's
+    // draw count independent of outcomes (stable layering).
+    bool lost = false;
+    for (const LinkFault& f : plan_.link_faults) {
+        if (f.loss_rate <= 0.0 || !coversPair(f, a, b))
+            continue;
+        if (link_rng_.nextBernoulli(f.loss_rate))
+            lost = true;
+    }
+    if (lost)
+        ++log_.link_messages_lost;
+    return lost;
 }
 
 int

@@ -20,6 +20,7 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -27,6 +28,41 @@
 #include "common/rng.hpp"
 
 namespace gpusim {
+
+/**
+ * One scheduled fault on one interconnect link, identified by its
+ * unordered endpoint pair. Like the device domain, windows are keyed
+ * on the simulation clock (never the RNG), so layering a link
+ * schedule onto an existing plan perturbs nothing else. The one
+ * stochastic field, @ref loss_rate, draws from a *dedicated* stream
+ * (FaultPlan::link_seed), not the transient stream.
+ */
+struct LinkFault
+{
+    /** Endpoints (unordered: a fault on (a,b) also covers (b,a)). */
+    std::size_t a = 0;
+    std::size_t b = 0;
+
+    /** Start of a link-down window; < 0 never. */
+    double down_at_us = -1.0;
+
+    /** Down-window length; <= 0 with down_at_us >= 0 means the link
+     *  never heals (a permanent cut). */
+    double down_for_us = 0.0;
+
+    /** Start of a degraded-bandwidth window; < 0 never. */
+    double degrade_at_us = -1.0;
+
+    /** Degrade-window length; <= 0 with degrade_at_us >= 0 means the
+     *  degradation is permanent. */
+    double degrade_for_us = 0.0;
+
+    /** Bandwidth divisor inside the degrade window (1 = intact). */
+    std::uint64_t degrade_factor = 1;
+
+    /** P(a message traversing this link is dropped in flight). */
+    double loss_rate = 0.0;
+};
 
 /** Per-category fault rates plus the stream seed. */
 struct FaultPlan
@@ -118,6 +154,36 @@ struct FaultPlan
 
     /** @} */
 
+    /**
+     * @name Link fault domain
+     *
+     * Interconnect faults between the fleet's nodes: down windows,
+     * degraded-bandwidth windows, and seeded per-link message loss.
+     * Down/degrade windows are clock-keyed like the device domain
+     * (RNG-free queries); message loss draws from its own stream
+     * seeded by @ref link_seed, so arming it never perturbs the
+     * transient fault sequence (RNG-layering safety, tested).
+     * @{
+     */
+
+    /** Scheduled link faults; multiple entries per link compose. */
+    std::vector<LinkFault> link_faults;
+
+    /** Seed of the dedicated message-loss stream. */
+    std::uint64_t link_seed = 1;
+
+    /**
+     * Schedule a partition: cut every link between @p island and the
+     * rest of a @p num_devices fleet at @p at_us, healing after
+     * @p for_us (<= 0 keeps the cut permanent). Membership is
+     * pairwise, so multi-hop routes through the island break too.
+     */
+    void addPartition(const std::vector<std::size_t>& island,
+                      std::size_t num_devices, double at_us,
+                      double for_us);
+
+    /** @} */
+
     /** Same rate for every transient category. */
     static FaultPlan uniform(double rate, std::uint64_t seed);
 
@@ -134,7 +200,8 @@ struct FaultPlan
         return script_ecc_rate > 0.0 || weight_ecc_rate > 0.0 ||
                launch_fail_rate > 0.0 || hang_rate > 0.0 ||
                alloc_fail_rate > 0.0 || loss_ecc_rate > 0.0 ||
-               permanent_launch_faults || anyDeviceDomain();
+               permanent_launch_faults || anyDeviceDomain() ||
+               anyLinkDomain();
     }
 
     bool
@@ -145,6 +212,8 @@ struct FaultPlan
     }
 
     bool anyHostDomain() const { return host_crash_at_event >= 0; }
+
+    bool anyLinkDomain() const { return !link_faults.empty(); }
 };
 
 /** Count of faults injected so far, per category. */
@@ -164,6 +233,12 @@ struct FaultLog
 
     /** Host-domain events (scheduled, logged once). */
     std::uint64_t host_crashes = 0;
+
+    /** Link-domain events (down/degrade logged once per scheduled
+     *  window; one count per message actually lost in flight). */
+    std::uint64_t link_downs = 0;
+    std::uint64_t link_degrades = 0;
+    std::uint64_t link_messages_lost = 0;
 
     /** Transient per-batch faults the in-batch recovery ladder sees.
      *  Device-domain events are excluded: they are absorbed one level
@@ -257,14 +332,49 @@ class FaultInjector
      */
     bool hostCrashAtBoundary(std::uint64_t events_processed);
 
+    /**
+     * @name Link-domain queries
+     *
+     * Down/degrade are clock-keyed and RNG-free, mirroring the device
+     * domain; each scheduled window logs once, on first observation.
+     * Message loss draws from the dedicated link stream only, so the
+     * transient sequence is identical with or without a link plan.
+     * Endpoint pairs are unordered.
+     * @{
+     */
+
+    /** Is link (a,b) inside any down window at @p now_us? */
+    bool linkDown(std::size_t a, std::size_t b, double now_us);
+
+    /**
+     * Earliest instant >= @p now_us at which link (a,b) is outside
+     * every down window; +inf when a permanent cut covers @p now_us.
+     */
+    double linkUpAtUs(std::size_t a, std::size_t b,
+                      double now_us) const;
+
+    /** Combined bandwidth divisor of the degrade windows covering
+     *  (a,b) at @p now_us; 1 when the link runs at full speed. */
+    std::uint64_t linkDegradeFactor(std::size_t a, std::size_t b,
+                                    double now_us);
+
+    /** Is a message crossing link (a,b) lost in flight? One draw from
+     *  the dedicated link stream per scheduled loss entry. */
+    bool loseLinkMessage(std::size_t a, std::size_t b);
+
+    /** @} */
+
   private:
     FaultPlan plan_;
     common::Rng rng_;
+    common::Rng link_rng_;
     FaultLog log_;
     bool wedge_logged_ = false;
     bool stall_logged_ = false;
     bool sm_disable_applied_ = false;
     bool host_crash_logged_ = false;
+    std::vector<bool> link_down_logged_;
+    std::vector<bool> link_degrade_logged_;
 };
 
 } // namespace gpusim

@@ -151,11 +151,31 @@ Topology::transferNs(std::size_t a, std::size_t b,
     return total;
 }
 
+std::size_t
+Topology::rackOf(std::size_t d) const
+{
+    return d < racks_.size() ? racks_[d] : 0;
+}
+
 std::string
 Topology::describe() const
 {
     std::ostringstream out;
     out << "devices " << num_devices_ << "\n";
+    // Group explicit rack assignments back into one line per rack.
+    std::vector<std::size_t> rack_ids;
+    for (std::size_t d = 0; d < racks_.size(); ++d)
+        if (racks_[d] != 0 &&
+            std::find(rack_ids.begin(), rack_ids.end(), racks_[d]) ==
+                rack_ids.end())
+            rack_ids.push_back(racks_[d]);
+    for (std::size_t rack : rack_ids)
+    {
+        out << "rack " << rack;
+        for (std::size_t d = 0; d < racks_.size(); ++d)
+            if (racks_[d] == rack) out << " " << d;
+        out << "\n";
+    }
     for (std::size_t a = 0; a < num_devices_; ++a)
         for (std::size_t b = a + 1; b < num_devices_; ++b)
             if (const LinkSpec* spec = link(a, b))
@@ -167,6 +187,31 @@ Topology::describe() const
     {
         out << "route " << r.a << " " << r.b << " via";
         for (std::size_t hop : r.hops) out << " " << hop;
+        out << "\n";
+    }
+    for (const LinkFault& f : link_faults_)
+    {
+        out << "linkfault " << f.a << " " << f.b;
+        if (f.down_at_us >= 0.0)
+        {
+            out << " down_at_us="
+                << static_cast<std::uint64_t>(f.down_at_us)
+                << " down_for_us="
+                << static_cast<std::uint64_t>(
+                       f.down_for_us > 0.0 ? f.down_for_us : 0.0);
+        }
+        if (f.degrade_at_us >= 0.0)
+        {
+            out << " degrade_at_us="
+                << static_cast<std::uint64_t>(f.degrade_at_us)
+                << " degrade_for_us="
+                << static_cast<std::uint64_t>(
+                       f.degrade_for_us > 0.0 ? f.degrade_for_us : 0.0)
+                << " degrade_factor=" << f.degrade_factor;
+        }
+        if (f.loss_rate > 0.0)
+            out << " loss_ppm="
+                << static_cast<std::uint64_t>(f.loss_rate * 1e6 + 0.5);
         out << "\n";
     }
     return out.str();
@@ -225,6 +270,7 @@ Topology::parse(const std::string& text)
     Topology topo;
     bool have_devices = false;
     std::unordered_set<std::uint64_t> route_keys;
+    std::vector<bool> rack_assigned;
 
     std::istringstream in(text);
     std::string line;
@@ -258,6 +304,8 @@ Topology::parse(const std::string& text)
             topo.links_.assign(topo.num_devices_ * topo.num_devices_,
                                LinkSpec{});
             for (LinkSpec& slot : topo.links_) slot.bytes_per_us = 0;
+            topo.racks_.assign(topo.num_devices_, 0);
+            rack_assigned.assign(topo.num_devices_, false);
             have_devices = true;
             continue;
         }
@@ -419,6 +467,185 @@ Topology::parse(const std::string& text)
             continue;
         }
 
+        if (verb == "rack")
+        {
+            if (tokens.size() < 3)
+                return lineError(line_no,
+                                 "expected 'rack R D1 [D2 ...]'");
+            std::uint64_t rack = 0;
+            if (!parseU64(tokens[1], &rack))
+                return lineError(line_no,
+                                 "rack id must be an integer");
+            if (rack > kMaxParsedDevices)
+                return lineError(
+                    line_no,
+                    common::detail::concat("rack id ", rack,
+                                           " exceeds limit ",
+                                           kMaxParsedDevices));
+            for (std::size_t i = 2; i < tokens.size(); ++i)
+            {
+                std::uint64_t dev = 0;
+                if (!parseU64(tokens[i], &dev))
+                    return lineError(
+                        line_no, "rack members must be integers");
+                if (dev >= topo.num_devices_)
+                    return lineError(
+                        line_no,
+                        common::detail::concat("rack member out of "
+                                               "range: ",
+                                               dev));
+                const std::size_t d = static_cast<std::size_t>(dev);
+                if (rack_assigned[d])
+                    return lineError(
+                        line_no,
+                        common::detail::concat("device ", dev,
+                                               " already assigned to "
+                                               "rack ",
+                                               topo.racks_[d]));
+                rack_assigned[d] = true;
+                topo.racks_[d] = static_cast<std::size_t>(rack);
+            }
+            continue;
+        }
+
+        if (verb == "linkfault")
+        {
+            if (tokens.size() < 4)
+                return lineError(
+                    line_no,
+                    "expected 'linkfault A B key=value [...]'");
+            std::uint64_t a = 0;
+            std::uint64_t b = 0;
+            if (!parseU64(tokens[1], &a) || !parseU64(tokens[2], &b))
+                return lineError(
+                    line_no, "linkfault endpoints must be integers");
+            if (a >= topo.num_devices_ || b >= topo.num_devices_)
+                return lineError(
+                    line_no,
+                    common::detail::concat("linkfault endpoint out "
+                                           "of range: ",
+                                           a, " ", b));
+            if (a == b)
+                return lineError(line_no,
+                                 "linkfault endpoints must differ");
+            if (topo.link(static_cast<std::size_t>(a),
+                          static_cast<std::size_t>(b)) == nullptr)
+                return lineError(
+                    line_no,
+                    common::detail::concat("linkfault on missing "
+                                           "link ",
+                                           a, " ", b));
+
+            LinkFault fault;
+            fault.a = static_cast<std::size_t>(a);
+            fault.b = static_cast<std::size_t>(b);
+            bool have_down_at = false;
+            bool have_down_for = false;
+            bool have_degrade_at = false;
+            bool have_degrade_for = false;
+            bool have_factor = false;
+            bool have_loss = false;
+            for (std::size_t i = 3; i < tokens.size(); ++i)
+            {
+                const std::string& opt = tokens[i];
+                const std::size_t eq = opt.find('=');
+                if (eq == std::string::npos)
+                    return lineError(
+                        line_no,
+                        common::detail::concat(
+                            "expected key=value, got '", opt, "'"));
+                const std::string key = opt.substr(0, eq);
+                std::uint64_t value = 0;
+                if (!parseU64(opt.substr(eq + 1), &value))
+                    return lineError(
+                        line_no,
+                        common::detail::concat("bad integer in '",
+                                               opt, "'"));
+                auto once = [&](bool* seen) {
+                    if (*seen) return false;
+                    *seen = true;
+                    return true;
+                };
+                if (key == "down_at_us")
+                {
+                    if (!once(&have_down_at))
+                        return lineError(line_no,
+                                         "duplicate down_at_us");
+                    fault.down_at_us = static_cast<double>(value);
+                }
+                else if (key == "down_for_us")
+                {
+                    if (!once(&have_down_for))
+                        return lineError(line_no,
+                                         "duplicate down_for_us");
+                    fault.down_for_us = static_cast<double>(value);
+                }
+                else if (key == "degrade_at_us")
+                {
+                    if (!once(&have_degrade_at))
+                        return lineError(line_no,
+                                         "duplicate degrade_at_us");
+                    fault.degrade_at_us = static_cast<double>(value);
+                }
+                else if (key == "degrade_for_us")
+                {
+                    if (!once(&have_degrade_for))
+                        return lineError(line_no,
+                                         "duplicate degrade_for_us");
+                    fault.degrade_for_us = static_cast<double>(value);
+                }
+                else if (key == "degrade_factor")
+                {
+                    if (!once(&have_factor))
+                        return lineError(line_no,
+                                         "duplicate degrade_factor");
+                    fault.degrade_factor = value;
+                }
+                else if (key == "loss_ppm")
+                {
+                    if (!once(&have_loss))
+                        return lineError(line_no,
+                                         "duplicate loss_ppm");
+                    if (value == 0)
+                        return lineError(
+                            line_no, "loss_ppm must be positive");
+                    if (value > 1'000'000)
+                        return lineError(
+                            line_no,
+                            common::detail::concat(
+                                "loss_ppm ", value,
+                                " exceeds 1000000"));
+                    fault.loss_rate =
+                        static_cast<double>(value) * 1e-6;
+                }
+                else
+                {
+                    return lineError(
+                        line_no,
+                        common::detail::concat(
+                            "unknown linkfault option '", key, "'"));
+                }
+            }
+            if (!have_down_at && !have_degrade_at && !have_loss)
+                return lineError(
+                    line_no,
+                    "linkfault needs down_at_us, degrade_at_us, or "
+                    "loss_ppm");
+            if (have_down_for && !have_down_at)
+                return lineError(
+                    line_no, "down_for_us without down_at_us");
+            if ((have_degrade_for || have_factor) && !have_degrade_at)
+                return lineError(
+                    line_no,
+                    "degrade window fields without degrade_at_us");
+            if (have_degrade_at && fault.degrade_factor < 2)
+                return lineError(
+                    line_no,
+                    "degrade_at_us requires degrade_factor >= 2");
+            topo.link_faults_.push_back(fault);
+            continue;
+        }
+
         return lineError(
             line_no,
             common::detail::concat("unknown directive '", verb, "'"));
@@ -464,6 +691,71 @@ struct Hop
     std::size_t src;
     std::size_t dst;
 };
+
+/** Shared rank validation for every collective pricer. */
+Status
+validateRanks(const Topology& topo, std::size_t ranks,
+              const char* what)
+{
+    if (ranks == 0)
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            common::detail::concat(what,
+                                   " needs at least one rank"));
+    if (ranks > topo.numDevices())
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            common::detail::concat(what, " over ", ranks,
+                                   " ranks but topology has ",
+                                   topo.numDevices(), " devices"));
+    return Status();
+}
+
+/**
+ * Price a stage list: the pipeline's slot time is the slowest
+ * message of any stage; with C chunks streaming through S stages the
+ * makespan is (S + C - 1) slots (exact integer arithmetic).
+ */
+Result<CollectiveCost>
+priceStages(const Topology& topo,
+            const std::vector<std::vector<Hop>>& stages,
+            std::uint64_t chunk_bytes, std::size_t chunks)
+{
+    CollectiveCost cost;
+    std::uint64_t slot_ns = 0;
+    for (const std::vector<Hop>& stage : stages)
+        for (const Hop& hop : stage)
+        {
+            Result<std::uint64_t> hop_ns =
+                topo.transferNs(hop.src, hop.dst, chunk_bytes);
+            if (!hop_ns.ok()) return hop_ns.takeStatus();
+            slot_ns = std::max(slot_ns, hop_ns.value());
+            cost.messages += chunks;
+            cost.bytes_on_wire += chunk_bytes * chunks;
+        }
+    cost.stages = stages.size();
+    cost.slot_ns = slot_ns;
+    cost.total_ns = (cost.stages + chunks - 1) * slot_ns;
+    return cost;
+}
+
+/** The binary-tree broadcast stage list: the mirrored second half of
+ *  the tree all-reduce schedule, rank 0 outward. */
+std::vector<std::vector<Hop>>
+broadcastStages(std::size_t ranks)
+{
+    const std::uint64_t levels = ceilLog2(ranks);
+    std::vector<std::vector<Hop>> stages;
+    for (std::uint64_t level = levels; level-- > 0;)
+    {
+        const std::size_t stride = std::size_t{1} << level;
+        std::vector<Hop> stage;
+        for (std::size_t r = 0; r + stride < ranks; r += 2 * stride)
+            stage.push_back(Hop{r, r + stride});
+        stages.push_back(std::move(stage));
+    }
+    return stages;
+}
 
 } // namespace
 
@@ -531,25 +823,7 @@ allReduceCost(const Topology& topo, Collective algo,
         }
     }
 
-    // The pipeline's slot time is the slowest message of any stage;
-    // with C chunks streaming through S stages the makespan is
-    // (S + C - 1) slots (exact integer arithmetic).
-    std::uint64_t slot_ns = 0;
-    for (const std::vector<Hop>& stage : stages)
-        for (const Hop& hop : stage)
-        {
-            Result<std::uint64_t> hop_ns =
-                topo.transferNs(hop.src, hop.dst, chunk_bytes);
-            if (!hop_ns.ok()) return hop_ns.takeStatus();
-            slot_ns = std::max(slot_ns, hop_ns.value());
-            cost.messages += chunks;
-            cost.bytes_on_wire += chunk_bytes * chunks;
-        }
-
-    cost.stages = stages.size();
-    cost.slot_ns = slot_ns;
-    cost.total_ns = (cost.stages + chunks - 1) * slot_ns;
-    return cost;
+    return priceStages(topo, stages, chunk_bytes, chunks);
 }
 
 std::uint64_t
@@ -574,6 +848,66 @@ treeAllReduceNs(const LinkSpec& link, std::uint64_t bytes,
     const std::uint64_t chunk =
         ceilDiv(std::max<std::uint64_t>(bytes, 1), chunks);
     const std::uint64_t stages = 2 * ceilLog2(ranks);
+    return (stages + chunks - 1) * linkTransferNs(link, chunk);
+}
+
+Result<CollectiveCost>
+broadcastCost(const Topology& topo, std::uint64_t bytes,
+              std::size_t ranks, std::size_t chunks)
+{
+    Status valid = validateRanks(topo, ranks, "broadcast");
+    if (!valid.ok()) return valid;
+    if (chunks == 0) chunks = 1;
+    if (ranks == 1) return CollectiveCost{};
+    const std::uint64_t chunk_bytes =
+        ceilDiv(std::max<std::uint64_t>(bytes, 1), chunks);
+    return priceStages(topo, broadcastStages(ranks), chunk_bytes,
+                       chunks);
+}
+
+Result<CollectiveCost>
+allGatherCost(const Topology& topo, std::uint64_t bytes,
+              std::size_t ranks, std::size_t chunks)
+{
+    Status valid = validateRanks(topo, ranks, "all-gather");
+    if (!valid.ok()) return valid;
+    if (chunks == 0) chunks = 1;
+    if (ranks == 1) return CollectiveCost{};
+    // The second half of the ring all-reduce: R-1 stages, every rank
+    // forwarding one ceil(B/R) shard chunk to its successor.
+    const std::uint64_t segment =
+        ceilDiv(std::max<std::uint64_t>(bytes, 1), ranks);
+    const std::uint64_t chunk_bytes = ceilDiv(segment, chunks);
+    std::vector<Hop> ring_stage;
+    ring_stage.reserve(ranks);
+    for (std::size_t r = 0; r < ranks; ++r)
+        ring_stage.push_back(Hop{r, (r + 1) % ranks});
+    const std::vector<std::vector<Hop>> stages(ranks - 1, ring_stage);
+    return priceStages(topo, stages, chunk_bytes, chunks);
+}
+
+std::uint64_t
+treeBroadcastNs(const LinkSpec& link, std::uint64_t bytes,
+                std::size_t ranks, std::size_t chunks)
+{
+    if (ranks <= 1) return 0;
+    if (chunks == 0) chunks = 1;
+    const std::uint64_t chunk =
+        ceilDiv(std::max<std::uint64_t>(bytes, 1), chunks);
+    const std::uint64_t stages = ceilLog2(ranks);
+    return (stages + chunks - 1) * linkTransferNs(link, chunk);
+}
+
+std::uint64_t
+ringAllGatherNs(const LinkSpec& link, std::uint64_t bytes,
+                std::size_t ranks, std::size_t chunks)
+{
+    if (ranks <= 1) return 0;
+    if (chunks == 0) chunks = 1;
+    const std::uint64_t segment =
+        ceilDiv(std::max<std::uint64_t>(bytes, 1), ranks);
+    const std::uint64_t chunk = ceilDiv(segment, chunks);
+    const std::uint64_t stages = ranks - 1;
     return (stages + chunks - 1) * linkTransferNs(link, chunk);
 }
 

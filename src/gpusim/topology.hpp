@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "gpusim/faults.hpp"
 
 namespace gpusim {
 
@@ -78,6 +79,23 @@ LinkSpec defaultLink(LinkType type);
  * rejected). Comments start with '#'. Malformed input of any kind
  * returns a structured InvalidArgument Status; parse() never panics
  * (topology_fuzz_test pins this).
+ *
+ * Two further directive families serve the multi-node fleet:
+ *
+ *     rack 1 2 3
+ *     linkfault 0 2 down_at_us=500 down_for_us=200
+ *     linkfault 0 2 degrade_at_us=900 degrade_for_us=100 \
+ *               degrade_factor=4
+ *     linkfault 1 2 loss_ppm=20000
+ *
+ * `rack R D1 [D2 ...]` assigns devices to rack R (devices default to
+ * rack 0; re-assigning a device is an error), feeding the fleet's
+ * rack-locality-aware failover. `linkfault A B key=value...`
+ * schedules a clock-keyed fault on an *installed* link: a down
+ * window (down_for_us=0 means permanent), a degraded-bandwidth
+ * window (factor >= 2 divides bandwidth), or seeded message loss in
+ * parts-per-million. Parsed faults are exported via linkFaults() for
+ * the caller to install into a gpusim::FaultPlan.
  */
 class Topology
 {
@@ -117,6 +135,24 @@ class Topology
     transferNs(std::size_t a, std::size_t b,
                std::uint64_t bytes) const;
 
+    /** Rack the device belongs to (0 unless a `rack` directive moved
+     *  it; out-of-range devices report rack 0). */
+    std::size_t rackOf(std::size_t d) const;
+
+    bool
+    sameRack(std::size_t a, std::size_t b) const
+    {
+        return rackOf(a) == rackOf(b);
+    }
+
+    /** Clock-keyed link faults parsed from `linkfault` directives, in
+     *  config order; install into FaultPlan::link_faults to arm. */
+    const std::vector<LinkFault>&
+    linkFaults() const
+    {
+        return link_faults_;
+    }
+
     /** Render back to the parse() format (diagnostics, traces). */
     std::string describe() const;
 
@@ -135,6 +171,9 @@ class Topology
      *  "no link". */
     std::vector<LinkSpec> links_;
     std::vector<Route> routes_;
+    /** Rack id per device; empty means "everything in rack 0". */
+    std::vector<std::size_t> racks_;
+    std::vector<LinkFault> link_faults_;
 };
 
 /** @name Collective cost model
@@ -224,6 +263,39 @@ std::uint64_t ringAllReduceNs(const LinkSpec& link,
 /** Closed-form pipelined binary-tree all-reduce over uniform links,
  *  ns: (2*ceil(log2 R) + C - 1) * linkTransferNs(link, ceil(B/C)). */
 std::uint64_t treeAllReduceNs(const LinkSpec& link,
+                              std::uint64_t bytes, std::size_t ranks,
+                              std::size_t chunks);
+
+/**
+ * Price one binary-tree broadcast of @p bytes from rank 0 to ranks
+ * {1 .. ranks-1}: the mirrored second half of the tree all-reduce
+ * schedule (ceil(log2 R) stages over the full payload), pipelined
+ * over @p chunks. Same stage simulation, errors, and degenerate
+ * ranks==1 semantics as allReduceCost().
+ */
+common::Result<CollectiveCost>
+broadcastCost(const Topology& topo, std::uint64_t bytes,
+              std::size_t ranks, std::size_t chunks);
+
+/**
+ * Price one ring all-gather: every rank starts with a
+ * ceil(bytes/ranks) shard and ends with all of them, in R-1 ring
+ * stages of one shard chunk each (the second half of the ring
+ * all-reduce schedule), pipelined over @p chunks.
+ */
+common::Result<CollectiveCost>
+allGatherCost(const Topology& topo, std::uint64_t bytes,
+              std::size_t ranks, std::size_t chunks);
+
+/** Closed-form pipelined tree broadcast over uniform links, ns:
+ *  (ceil(log2 R) + C - 1) * linkTransferNs(link, ceil(B/C)). */
+std::uint64_t treeBroadcastNs(const LinkSpec& link,
+                              std::uint64_t bytes, std::size_t ranks,
+                              std::size_t chunks);
+
+/** Closed-form pipelined ring all-gather over uniform links, ns:
+ *  ((R-1) + C - 1) * linkTransferNs(link, ceil(ceil(B/R)/C)). */
+std::uint64_t ringAllGatherNs(const LinkSpec& link,
                               std::uint64_t bytes, std::size_t ranks,
                               std::size_t chunks);
 

@@ -70,6 +70,8 @@ laneName(std::int32_t lane)
         return "durable";
       case kLaneComm:
         return "comm";
+      case kLaneNet:
+        return "net";
       default:
         if (lane >= kLaneReplicaBase)
             return "replica " + std::to_string(lane -

@@ -68,6 +68,7 @@ constexpr std::int32_t kLaneServe = 1'000'003;    //!< serving decisions
 constexpr std::int32_t kLaneFleet = 1'000'004;    //!< fleet router/health
 constexpr std::int32_t kLaneDurable = 1'000'005;  //!< WAL/checkpoint/recovery
 constexpr std::int32_t kLaneComm = 1'000'006;     //!< interconnect collectives
+constexpr std::int32_t kLaneNet = 1'000'007;      //!< fleet network traffic
 
 /** Per-replica fleet lanes: kLaneReplicaBase + replica index. */
 constexpr std::int32_t kLaneReplicaBase = 1'000'100;

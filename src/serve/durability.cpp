@@ -39,11 +39,11 @@ putCounters(std::vector<std::uint8_t>& out, const FleetCounters& c)
           c.timed_out_high, c.failed_high, c.routed, c.failed_over,
           c.hedge_cancelled, c.lost, c.hedges, c.probes,
           c.suspicions, c.device_losses, c.standby_joins,
-          c.expired_in_queue, c.drained_no_replica})
+          c.expired_in_queue, c.drained_no_replica, c.fenced})
         putU64(out, v);
 }
 
-constexpr std::size_t kNumCounterFields = 23;
+constexpr std::size_t kNumCounterFields = 24;
 
 void
 getCounters(const std::uint8_t* p, FleetCounters& c)
@@ -55,7 +55,7 @@ getCounters(const std::uint8_t* p, FleetCounters& c)
         &c.timed_out_high, &c.failed_high, &c.routed, &c.failed_over,
         &c.hedge_cancelled, &c.lost, &c.hedges, &c.probes,
         &c.suspicions, &c.device_losses, &c.standby_joins,
-        &c.expired_in_queue, &c.drained_no_replica};
+        &c.expired_in_queue, &c.drained_no_replica, &c.fenced};
     for (std::size_t i = 0; i < kNumCounterFields; ++i)
         *fields[i] = getU64(p + 8 * i);
 }

@@ -90,8 +90,9 @@ decodeOutcome(const std::vector<std::uint8_t>& payload);
 /** Expected value of the fleet checkpoint magic ("VPFC"). */
 inline constexpr std::uint32_t kFleetStateMagic = 0x43465056u;
 
-/** Current fleet checkpoint format version. */
-inline constexpr std::uint32_t kFleetStateVersion = 1;
+/** Current fleet checkpoint format version. Version 2 appended the
+ *  `fenced` counter to the counter block. */
+inline constexpr std::uint32_t kFleetStateVersion = 2;
 
 /** Caps a parser trusts before allocating (corruption guards). */
 inline constexpr std::uint64_t kFleetStateMaxEntries = 1u << 24;

@@ -65,6 +65,7 @@ Fleet::Fleet(std::vector<FleetReplica> replicas, FleetConfig cfg,
         sl.breaker = CircuitBreaker(cfg_.breaker);
         sl.state = r.handle != nullptr ? ReplicaState::Active
                                        : ReplicaState::Standby;
+        sl.node = r.node != kNpos ? r.node : i;
         if (sl.state == ReplicaState::Active && first_active == kNpos)
             first_active = i;
         slots_.push_back(std::move(sl));
@@ -94,6 +95,35 @@ Fleet::Fleet(std::vector<FleetReplica> replicas, FleetConfig cfg,
     for (const Slot& sl : slots_)
         if (sl.state == ReplicaState::Active)
             now_ = std::max(now_, sl.r.device->clockUs());
+
+    net_ = NetworkModel(cfg_.net, tracer_, metrics_);
+    if (net_.enabled()) {
+        const std::size_t nodes = cfg_.net.topology.numDevices();
+        if (cfg_.net.controller_node >= nodes)
+            common::panic("Fleet: controller node ",
+                          cfg_.net.controller_node,
+                          " outside the topology (", nodes,
+                          " nodes)");
+        for (const Slot& sl : slots_)
+            if (sl.node >= nodes)
+                common::panic("Fleet: replica '", sl.r.name,
+                              "' on node ", sl.node,
+                              " outside the topology (", nodes,
+                              " nodes)");
+        // Seeding every node with the parameters is a broadcast over
+        // the links, priced with the pipelined tree closed form; the
+        // fleet clock starts after it lands.
+        if (nodes > 1) {
+            auto bc = net_.paramBroadcastUs(
+                static_cast<std::uint64_t>(ckpt_blob_.size()), now_);
+            if (!bc.ok())
+                common::panic("Fleet: initial parameter broadcast "
+                              "failed: ",
+                              bc.status().toString());
+            now_ += bc.value();
+        }
+    }
+
     health_ = HealthMonitor(cfg_.health, slots_.size(), now_);
     for (std::size_t i = 0; i < slots_.size(); ++i)
         if (slots_[i].state != ReplicaState::Active)
@@ -230,6 +260,15 @@ Fleet::chooseReplica(double now_us, std::size_t exclude)
             continue;
         if (health_.suspect(i, now_us))
             continue;
+        // Partitioned replicas are skipped outright: a dispatch sent
+        // into a down link is a guaranteed fence, so the router does
+        // not waste the attempt (the replica may be perfectly
+        // healthy on the far side).
+        if (net_.enabled() && sl.node != cfg_.net.controller_node &&
+            !net_.pathUp(cfg_.net.controller_node, sl.node, now_us)) {
+            net_.noteUnreachableSkip();
+            continue;
+        }
         // The breaker gate last: usePrimary() mutates (Open ->
         // HalfOpen probe), so only the otherwise-chosen replica is
         // asked.
@@ -249,12 +288,19 @@ Fleet::chooseReplica(double now_us, std::size_t exclude)
     return kNpos;
 }
 
+double
+Fleet::effectiveTimeoutUs()
+{
+    if (cfg_.net.inflight_timeout_us > 0.0)
+        return cfg_.net.inflight_timeout_us;
+    return 20.0 * serviceUs();
+}
+
 void
 Fleet::execute(std::size_t s, Queued q, bool as_hedge)
 {
     Slot& sl = slots_[s];
     vpps::Handle* const h = handleOf(sl);
-    sl.r.device->advanceClockTo(now_);
 
     ++counters_.routed;
     count("fleet.routed");
@@ -265,6 +311,45 @@ Fleet::execute(std::size_t s, Queued q, bool as_hedge)
                  q.req.id, static_cast<double>(s),
                  static_cast<double>(q.attempts));
 
+    InFlight fl;
+    fl.q = q;
+    fl.is_hedge = as_hedge;
+    if (net_.enabled()) {
+        const auto it = fence_epoch_.find(q.req.id);
+        fl.epoch = it != fence_epoch_.end() ? it->second : 0;
+    }
+    if (!as_hedge && q.req.cls == RequestClass::High &&
+        cfg_.hedge_delay_us >= 0.0)
+        fl.hedge_at_us = now_ + cfg_.hedge_delay_us;
+
+    // The dispatch message crosses the controller->replica path
+    // first; the replica starts only once (and if) it lands.
+    double start = now_;
+    const std::size_t ctrl = cfg_.net.controller_node;
+    if (net_.enabled() && sl.node != ctrl) {
+        const NetworkModel::SendOutcome out = net_.send(
+            ctrl, sl.node, cfg_.net.dispatch_bytes, now_, "dispatch");
+        if (!out.delivered) {
+            // Blocked or lost in flight: the replica never hears of
+            // this dispatch. The controller sees a busy slot and a
+            // completion that never comes; the fence timeout retires
+            // the zombie and re-routes the request.
+            fl.ok = false;
+            fl.err = common::ErrorCode::Unavailable;
+            fl.done_at_us = kInf;
+            // No reply can ever arrive (the replica never heard of
+            // the dispatch), so fencing early is safe; the margin
+            // alone bounds how long the slot stays wedged.
+            fl.timeout_at_us = now_ + effectiveTimeoutUs();
+            sl.inflight = fl;
+            fleetInstant("dispatch_lost", q.req.id,
+                         static_cast<double>(s));
+            return;
+        }
+        start = now_ + out.delay_us;
+    }
+
+    sl.r.device->advanceClockTo(start);
     graph::ComputationGraph cg;
     auto loss = sl.r.bm->buildLoss(cg, q.req.input_index);
     const double wall_before = h->stats().wall_us;
@@ -283,22 +368,31 @@ Fleet::execute(std::size_t s, Queued q, bool as_hedge)
     if (dur < 1.0)
         dur = 1.0;
 
-    InFlight fl;
-    fl.q = q;
-    fl.is_hedge = as_hedge;
     fl.ok = r.ok();
     fl.err = r.ok() ? common::ErrorCode::Ok : r.status().code();
     fl.response = r.ok() ? r.value() : 0.0f;
-    fl.done_at_us = now_ + dur;
-    if (!as_hedge && q.req.cls == RequestClass::High &&
-        cfg_.hedge_delay_us >= 0.0)
-        fl.hedge_at_us = now_ + cfg_.hedge_delay_us;
+    fl.done_at_us = start + dur;
+    if (net_.enabled() && sl.node != ctrl)
+        // The completion message retransmits under the backoff
+        // ladder until it gets through; +inf (partition outlives the
+        // ladder) leaves a zombie for the fence timeout.
+        fl.done_at_us = net_.reliableDeliveryAtUs(
+            sl.node, ctrl, cfg_.net.completion_bytes, start + dur);
+    if (net_.enabled())
+        // The timeout is armed relative to the dispatch's modeled
+        // completion instant (the controller's service-model
+        // expectation), so the margin prices wire lateness alone: a
+        // healthy reply beats it by construction, while one stuck
+        // behind a down window is fenced and the request re-routed
+        // long before the retransmit ladder delivers the -- now
+        // stale -- reply.
+        fl.timeout_at_us = start + dur + effectiveTimeoutUs();
     sl.inflight = fl;
 
     if (tracer_ != nullptr)
         tracer_->complete(
             obs::kLaneReplicaBase + static_cast<std::int32_t>(s),
-            "fleet", as_hedge ? "hedge_dispatch" : "dispatch", now_,
+            "fleet", as_hedge ? "hedge_dispatch" : "dispatch", start,
             dur, static_cast<std::int64_t>(q.req.id),
             r.ok() ? 1.0 : 0.0);
 }
@@ -346,7 +440,10 @@ Fleet::twinOf(std::uint64_t id, std::size_t self) const
     for (std::size_t i = 0; i < slots_.size(); ++i) {
         if (i == self)
             continue;
-        if (slots_[i].inflight && slots_[i].inflight->q.req.id == id)
+        // A fenced dispatch no longer carries its request; its late
+        // completion is dropped, so it is not a live twin.
+        if (slots_[i].inflight && !slots_[i].inflight->fenced &&
+            slots_[i].inflight->q.req.id == id)
             return i;
     }
     return kNpos;
@@ -360,6 +457,21 @@ Fleet::completeOn(std::size_t s)
     sl.inflight.reset();
     const std::uint64_t id = fl.q.req.id;
     const std::size_t twin = twinOf(id, s);
+
+    if (fl.fenced) {
+        // The controller fenced this epoch while the completion was
+        // stuck behind the partition; the request has moved on, and
+        // the stale result is discarded on arrival -- a healed
+        // partition can never double-complete (this dispatch already
+        // booked as `fenced`). Breakers are not charged with stale
+        // outcomes; a wedge report is still a wedge.
+        net_.noteFenceDrop(id, fl.epoch, now_);
+        fleetInstant("fence_drop", id, static_cast<double>(s),
+                     static_cast<double>(fl.epoch));
+        if (fl.err == common::ErrorCode::DeviceLost)
+            onDeviceLost(s);
+        return;
+    }
 
     if (auto it = finalized_pending_.find(id);
         it != finalized_pending_.end()) {
@@ -461,48 +573,102 @@ Fleet::onDeviceLost(std::size_t s)
     common::warn("Fleet: replica '", sl.r.name,
                  "' lost (device wedged); ", liveReplicas(),
                  " still live");
-    promoteStandby();
+    promoteStandby(s);
 }
 
 void
-Fleet::promoteStandby()
+Fleet::promoteStandby(std::size_t lost)
 {
-    std::size_t idx = kNpos;
+    std::vector<std::size_t> cands;
     for (std::size_t i = 0; i < slots_.size(); ++i)
-        if (slots_[i].state == ReplicaState::Standby) {
-            idx = i;
-            break;
+        if (slots_[i].state == ReplicaState::Standby)
+            cands.push_back(i);
+    if (cands.empty())
+        return;
+    if (net_.enabled()) {
+        // Rack-locality-aware failover: a standby in the lost
+        // replica's rack first (it keeps per-rack capacity and its
+        // links are the short ones), then whoever is cheapest to
+        // ship the parameters to from the controller, then slot
+        // index. The keys are static topology properties, so the
+        // order is deterministic.
+        const std::size_t ctrl = cfg_.net.controller_node;
+        const std::uint64_t blob =
+            static_cast<std::uint64_t>(ckpt_blob_.size());
+        std::sort(
+            cands.begin(), cands.end(),
+            [&](std::size_t x, std::size_t y) {
+                if (lost != kNpos) {
+                    const bool rx = cfg_.net.topology.sameRack(
+                        slots_[x].node, slots_[lost].node);
+                    const bool ry = cfg_.net.topology.sameRack(
+                        slots_[y].node, slots_[lost].node);
+                    if (rx != ry)
+                        return rx;
+                }
+                const double cx =
+                    net_.scoreUs(ctrl, slots_[x].node, blob);
+                const double cy =
+                    net_.scoreUs(ctrl, slots_[y].node, blob);
+                if (cx != cy)
+                    return cx < cy;
+                return x < y;
+            });
+    }
+    for (const std::size_t idx : cands) {
+        Slot& sl = slots_[idx];
+        double ready_at = now_;
+        if (net_.enabled() && sl.node != cfg_.net.controller_node) {
+            // The parameter blob ships chunked over the links and
+            // resumes from its byte offset across losses and down
+            // windows. A failed ship (permanent cut / retries
+            // exhausted) leaves the standby warm for a later attempt
+            // and tries the next candidate.
+            const NetworkModel::ShipOutcome ship = net_.ship(
+                cfg_.net.controller_node, sl.node,
+                static_cast<std::uint64_t>(ckpt_blob_.size()), now_);
+            if (!ship.ok) {
+                fleetInstant("standby_ship_failed", 0,
+                             static_cast<double>(idx));
+                common::warn("Fleet: standby '", sl.r.name,
+                             "' parameter ship failed; trying the "
+                             "next candidate");
+                continue;
+            }
+            ready_at = ship.done_at_us;
         }
-    if (idx == kNpos)
-        return;
-    Slot& sl = slots_[idx];
-    sl.r.device->advanceClockTo(now_);
-    // Parameter replication first, then the re-JIT; the handle build
-    // is the expensive part and its modeled compile time (plus the
-    // configured provisioning delay) gates the join instant.
-    if (auto st = train::restoreCheckpointBlob(
-            ckpt_blob_, sl.r.bm->model(), *sl.r.device);
-        !st.ok()) {
-        sl.state = ReplicaState::Dead;
-        common::warn("Fleet: standby '", sl.r.name,
-                     "' restore failed: ", st.toString());
+        sl.r.device->advanceClockTo(now_);
+        // Parameter replication first, then the re-JIT; the handle
+        // build is the expensive part and its modeled compile time
+        // (plus the ship time and the configured provisioning delay)
+        // gates the join instant.
+        if (auto st = train::restoreCheckpointBlob(
+                ckpt_blob_, sl.r.bm->model(), *sl.r.device);
+            !st.ok()) {
+            sl.state = ReplicaState::Dead;
+            common::warn("Fleet: standby '", sl.r.name,
+                         "' restore failed: ", st.toString());
+            return;
+        }
+        auto hr = vpps::Handle::tryCreate(
+            sl.r.bm->model(), *sl.r.device, cfg_.standby_opts);
+        if (!hr.ok()) {
+            sl.state = ReplicaState::Dead;
+            common::warn("Fleet: standby '", sl.r.name,
+                         "' rebuild failed: ",
+                         hr.status().toString());
+            return;
+        }
+        sl.owned = std::move(hr.value());
+        const double delay =
+            std::max(1.0, sl.owned->jitSeconds() * 1e6 +
+                              cfg_.standby_extra_delay_us);
+        sl.join_at_us = ready_at + delay;
+        sl.state = ReplicaState::Joining;
+        fleetInstant("standby_promote", 0, static_cast<double>(idx),
+                     delay + (ready_at - now_));
         return;
     }
-    auto hr = vpps::Handle::tryCreate(sl.r.bm->model(), *sl.r.device,
-                                      cfg_.standby_opts);
-    if (!hr.ok()) {
-        sl.state = ReplicaState::Dead;
-        common::warn("Fleet: standby '", sl.r.name,
-                     "' rebuild failed: ", hr.status().toString());
-        return;
-    }
-    sl.owned = std::move(hr.value());
-    const double delay = std::max(
-        1.0, sl.owned->jitSeconds() * 1e6 + cfg_.standby_extra_delay_us);
-    sl.join_at_us = now_ + delay;
-    sl.state = ReplicaState::Joining;
-    fleetInstant("standby_promote", 0, static_cast<double>(idx),
-                 delay);
 }
 
 void
@@ -529,17 +695,49 @@ Fleet::processProbe(std::size_t r)
     count("fleet.probes");
     bool alive = sl.state == ReplicaState::Active;
     bool wedged = false;
+    double rtt = 0.0;
+    double t_arr = now_;
+    const bool wired = net_.enabled() &&
+                       sl.node != cfg_.net.controller_node;
+    if (alive && wired) {
+        // Tie order, documented and tested (fleet_failover): the
+        // probe consults the *link* at its send instant before it
+        // can consult the device, so when a link-down window opens
+        // at the same microsecond a device wedges, the partition
+        // masks the wedge -- the probe never reaches the device, the
+        // replica just goes silent, and the wedge is confirmed only
+        // by the first probe through the healed link.
+        const NetworkModel::SendOutcome out =
+            net_.send(cfg_.net.controller_node, sl.node,
+                      cfg_.net.probe_bytes, now_, "probe");
+        if (!out.delivered)
+            alive = false; // blocked or lost: silence, phi grows
+        else
+            t_arr = now_ + out.delay_us;
+    }
     if (alive) {
+        // The device answers as of the probe's *arrival* instant.
         if (gpusim::FaultInjector* inj = sl.r.device->faults()) {
-            if (inj->deviceWedged(now_)) {
+            if (inj->deviceWedged(t_arr)) {
                 alive = false;
                 wedged = true;
-            } else if (inj->stallPenaltyUs(now_) > 0.0) {
+            } else if (inj->stallPenaltyUs(t_arr) > 0.0) {
                 alive = false; // stalled: silent, but not dead
             }
         }
     }
-    health_.recordProbe(r, now_, alive);
+    if (alive && wired) {
+        const NetworkModel::SendOutcome back =
+            net_.send(sl.node, cfg_.net.controller_node,
+                      cfg_.net.probe_bytes, t_arr, "probe_reply");
+        if (!back.delivered) {
+            alive = false; // reply dropped on the way home
+        } else {
+            rtt = (t_arr - now_) + back.delay_us;
+            net_.noteProbeReply(r, rtt, now_ + rtt);
+        }
+    }
+    health_.recordProbe(r, now_, alive, rtt);
     const bool sus =
         sl.state == ReplicaState::Active && health_.suspect(r, now_);
     if (sus && !was_suspect_[r]) {
@@ -551,6 +749,79 @@ Fleet::processProbe(std::size_t r)
     was_suspect_[r] = sus;
     if (wedged)
         onDeviceLost(r);
+}
+
+void
+Fleet::onInflightTimeout(std::size_t s)
+{
+    Slot& sl = slots_[s];
+    InFlight& fl = *sl.inflight;
+    const std::uint64_t id = fl.q.req.id;
+    net_.noteTimeout(id, now_);
+
+    if (auto it = finalized_pending_.find(id);
+        it != finalized_pending_.end()) {
+        // The request's other dispatch already won; this silent one
+        // retires as the cancelled hedge loser, reply or no reply.
+        finalized_pending_.erase(it);
+        ++counters_.hedge_cancelled;
+        count("fleet.hedge_cancelled");
+        fleetInstant("hedge_cancel", id, static_cast<double>(s));
+        sl.inflight.reset();
+        return;
+    }
+
+    // Fence the epoch: this dispatch's result -- should the
+    // partition heal and deliver it -- is stale by construction.
+    // `fenced` is the dispatch's terminal disposition (the routed
+    // identity stays closed); the request itself re-routes below.
+    const int epoch = ++fence_epoch_[id];
+    ++counters_.fenced;
+    count("fleet.fenced");
+    net_.noteFence(id, epoch, now_);
+    fleetInstant("fence", id, static_cast<double>(s),
+                 static_cast<double>(epoch));
+
+    const Queued q = fl.q;
+    const bool zombie = fl.done_at_us == kInf;
+    if (zombie) {
+        // The completion can never arrive (the dispatch message was
+        // dropped, or the retransmit ladder outlived the partition):
+        // free the slot now so the loop keeps terminating.
+        sl.inflight.reset();
+    } else {
+        // The stale reply is still on its way; the slot stays busy
+        // until it lands and is dropped (completeOn's fence path).
+        fl.fenced = true;
+        fl.timeout_at_us = -1.0;
+        fl.hedge_at_us = -1.0;
+    }
+
+    if (twinOf(id, s) != kNpos)
+        return; // a live twin still carries the request
+
+    const int budget = q.req.cls == RequestClass::High
+                           ? cfg_.max_failovers_high
+                           : cfg_.max_failovers_low;
+    bool routable = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+        if ((i != s || zombie) &&
+            (slots_[i].state == ReplicaState::Active ||
+             slots_[i].state == ReplicaState::Joining))
+            routable = true;
+    if (q.attempts < budget && q.req.deadline_us > now_ &&
+        routable) {
+        Queued again = q;
+        ++again.attempts;
+        again.enqueue_us = now_;
+        queue_.enqueueFront(std::move(again));
+        fleetInstant("fence_reroute", id, static_cast<double>(s),
+                     static_cast<double>(q.attempts + 1));
+    } else {
+        finalizeRequest(q, q.req.deadline_us <= now_
+                               ? Outcome::TimedOut
+                               : Outcome::Failed);
+    }
 }
 
 void
@@ -608,12 +879,15 @@ Fleet::run(const std::vector<Request>& arrivals)
             !inflight_any && !joining_any)
             break;
 
-        // Candidate events in a fixed tie order: completion, standby
-        // join, health probe, arrival, hedge launch, dispatch.
+        // Candidate events in a fixed tie order: completion, fence
+        // timeout, standby join, health probe, arrival, hedge
+        // launch, dispatch. Completion outranks timeout so a reply
+        // landing exactly at the fence instant still completes.
         enum
         {
             kNone,
             kComplete,
+            kTimeout,
             kJoin,
             kProbe,
             kArrive,
@@ -635,6 +909,11 @@ Fleet::run(const std::vector<Request>& arrivals)
             if (slots_[i].inflight)
                 consider(kComplete, slots_[i].inflight->done_at_us,
                          i);
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (slots_[i].inflight && !slots_[i].inflight->fenced &&
+                slots_[i].inflight->timeout_at_us >= 0.0)
+                consider(kTimeout,
+                         slots_[i].inflight->timeout_at_us, i);
         for (std::size_t i = 0; i < slots_.size(); ++i)
             if (slots_[i].state == ReplicaState::Joining)
                 consider(kJoin, slots_[i].join_at_us, i);
@@ -667,6 +946,10 @@ Fleet::run(const std::vector<Request>& arrivals)
         switch (kind) {
         case kComplete:
             completeOn(slot);
+            dispatch_stalled = false;
+            break;
+        case kTimeout:
+            onInflightTimeout(slot);
             dispatch_stalled = false;
             break;
         case kJoin:
@@ -874,9 +1157,10 @@ Fleet::captureDurableState() const
     // dispatch ledger keeps only settled dispatches. WAL replay of a
     // completion then increments routed and completed together, and
     // the dispatch identity holds across the crash by construction.
-    st.counters.routed = counters_.completed +
-                         counters_.failed_over +
-                         counters_.hedge_cancelled + counters_.lost;
+    st.counters.routed =
+        counters_.completed + counters_.failed_over +
+        counters_.hedge_cancelled + counters_.fenced +
+        counters_.lost;
     st.completed.reserve(responses_.size());
     for (std::size_t i = 0; i < responses_.size(); ++i) {
         FleetDurableState::CompletedEntry e;
@@ -895,7 +1179,7 @@ Fleet::captureDurableState() const
             seen.insert(q.req.id).second)
             st.pending.push_back(q.req);
     for (const Slot& sl : slots_)
-        if (sl.inflight &&
+        if (sl.inflight && !sl.inflight->fenced &&
             finalized_pending_.find(sl.inflight->q.req.id) ==
                 finalized_pending_.end() &&
             seen.insert(sl.inflight->q.req.id).second)

@@ -28,18 +28,30 @@
  *    checkpoint path) and the handle is re-JITted, so post-failover
  *    inference is bitwise identical to the lost replica's.
  *
+ * With a non-empty FleetConfig::net topology, the fleet is
+ * additionally *networked* (DESIGN.md section 4.12): every probe,
+ * dispatch, completion, and standby parameter ship crosses
+ * gpusim::Topology links at modeled cost and is subject to the link
+ * fault domain (down windows, degraded bandwidth, seeded loss). A
+ * dispatch whose completion goes silent is fenced by epoch after a
+ * timeout -- the request re-routes, and the stale completion (if the
+ * partition heals) is discarded on arrival, so a healed partition can
+ * never double-complete a request.
+ *
  * Dispatch accounting reconciles by construction: every routed
  * dispatch ends in exactly one of {completed, failed_over,
- * hedge_cancelled, lost}, alongside the request-level identities
- * inherited from the Server. The headline invariant (fleet_failover
- * tests): with R >= 2 replicas and any single-device loss mid-load,
- * no admitted High-class request is lost, and all completed
- * responses are bitwise identical to the no-fault run, at 1 and 8
- * host threads.
+ * hedge_cancelled, fenced, lost}, alongside the request-level
+ * identities inherited from the Server. The headline invariant
+ * (fleet_failover + partition_tolerance tests): with R >= 2 replicas
+ * and any single-device loss or single-link partition mid-load, no
+ * admitted High-class request is lost, and all completed responses
+ * are bitwise identical to the no-fault run, at 1 and 8 host
+ * threads.
  */
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -54,6 +66,7 @@
 #include "serve/batcher.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/health.hpp"
+#include "serve/net.hpp"
 #include "serve/request.hpp"
 #include "vpps/handle.hpp"
 
@@ -136,6 +149,10 @@ struct FleetReplica
     gpusim::Device* device = nullptr;
     models::BenchmarkModel* bm = nullptr;
     vpps::Handle* handle = nullptr; //!< null => warm standby
+
+    /** Topology node this replica lives on (networked fleets only);
+     *  npos defaults to the replica's slot index. */
+    std::size_t node = static_cast<std::size_t>(-1);
 };
 
 struct FleetConfig
@@ -163,6 +180,9 @@ struct FleetConfig
 
     /** Crash-consistency (off unless durability.store is set). */
     DurabilityConfig durability;
+
+    /** Fleet networking (off unless net.topology has devices). */
+    NetConfig net;
 };
 
 /**
@@ -172,7 +192,8 @@ struct FleetConfig
  *   arrivals = admitted + rejected_queue_full + rejected_infeasible
  *            + shed
  *   admitted = completed + timed_out + failed
- *   routed   = completed + failed_over + hedge_cancelled + lost
+ *   routed   = completed + failed_over + hedge_cancelled + fenced
+ *            + lost
  *
  * (each completed request has exactly one winning dispatch, so
  * `completed` serves both identities). Every field mirrors into the
@@ -202,6 +223,7 @@ struct FleetCounters
     std::uint64_t routed = 0;
     std::uint64_t failed_over = 0;
     std::uint64_t hedge_cancelled = 0;
+    std::uint64_t fenced = 0; //!< in-flight epoch fenced on timeout
     std::uint64_t lost = 0;
     /** @} */
 
@@ -223,8 +245,8 @@ struct FleetCounters
         return arrivals == admitted + rejected_queue_full +
                                rejected_infeasible + shed &&
                admitted == completed + timed_out + failed &&
-               routed ==
-                   completed + failed_over + hedge_cancelled + lost &&
+               routed == completed + failed_over + hedge_cancelled +
+                             fenced + lost &&
                admitted_high ==
                    completed_high + timed_out_high + failed_high;
     }
@@ -356,6 +378,15 @@ public:
     std::uint64_t generation() const { return generation_; }
     /** @} */
 
+    /** @name Networking surface (see NetConfig) @{ */
+
+    /** The fleet's network model (enabled() false when off). */
+    const NetworkModel& net() const { return net_; }
+
+    /** Wire accounting (all zero when networking is off). */
+    const NetStats& netStats() const { return net_.stats(); }
+    /** @} */
+
 private:
     struct InFlight
     {
@@ -365,8 +396,14 @@ private:
         bool ok = false;
         common::ErrorCode err = common::ErrorCode::Ok;
         float response = 0.0f;
-        double done_at_us = 0.0;
+        double done_at_us = 0.0; //!< +inf: completion never arrives
         double hedge_at_us = -1.0; //!< < 0: no hedge scheduled
+
+        /** @name Networked dispatch state @{ */
+        int epoch = 0;         //!< fence epoch this dispatch carries
+        bool fenced = false;   //!< timed out; completion is stale
+        double timeout_at_us = -1.0; //!< < 0: no timeout armed
+        /** @} */
     };
 
     struct Slot
@@ -379,6 +416,7 @@ private:
         double join_at_us = 0.0;
         std::uint64_t dispatches = 0;
         std::uint64_t failures = 0;
+        std::size_t node = 0; //!< resolved topology node
     };
 
     void count(const char* name, std::uint64_t n = 1);
@@ -413,9 +451,23 @@ private:
                          float response = 0.0f,
                          double latency = 0.0);
     void onDeviceLost(std::size_t s);
-    void promoteStandby();
+
+    /** Promote the best standby: same rack as the lost replica
+     *  first, then cheapest parameter ship from the controller, then
+     *  lowest slot index (plain first-standby order when networking
+     *  is off). */
+    void promoteStandby(std::size_t lost = static_cast<std::size_t>(-1));
     void joinReplica(std::size_t s);
     void processProbe(std::size_t r);
+
+    /** Fence a dispatch whose completion went silent past its
+     *  timeout: bumps the request's fence epoch (the stale completion
+     *  is discarded on arrival) and re-routes or finalizes the
+     *  request. */
+    void onInflightTimeout(std::size_t s);
+
+    /** Timeout armed on a networked dispatch at send time. */
+    double effectiveTimeoutUs();
     void expireQueued();
     void drainUnroutable();
 
@@ -462,6 +514,14 @@ private:
     std::vector<bool> was_suspect_; //!< per-slot phi edge detector
     std::size_t rr_next_ = 0;       //!< round-robin routing cursor
     double now_ = 0.0;
+
+    /** @name Networking state (disabled without a net topology) @{ */
+    NetworkModel net_;
+
+    /** Per-request fence epoch: a dispatch is valid only while its
+     *  epoch matches; bumped by onInflightTimeout(). */
+    std::map<std::uint64_t, int> fence_epoch_;
+    /** @} */
 
     /** @name Durability state (unset with a null store) @{ */
     std::unique_ptr<durable::CheckpointStore> ckpt_store_;

@@ -103,10 +103,11 @@ HealthMonitor::nextProbeReplica() const
 }
 
 void
-HealthMonitor::recordProbe(std::size_t r, double now_us, bool alive)
+HealthMonitor::recordProbe(std::size_t r, double now_us, bool alive,
+                           double rtt_us)
 {
     if (alive)
-        detectors_[r].heartbeat(now_us);
+        detectors_[r].heartbeat(now_us + rtt_us);
     next_probe_us_[r] = now_us + jitteredInterval();
 }
 

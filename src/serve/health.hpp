@@ -106,8 +106,14 @@ public:
      * Consume replica @p r's pending probe at @p now_us and schedule
      * its next one with seeded jitter. @p alive records a heartbeat;
      * a dead/stalled replica just stays silent and its phi grows.
+     * With networked probes, @p rtt_us is the probe's measured
+     * round-trip through the links: the heartbeat lands at
+     * now + rtt (suspicion is driven by when the *reply* arrived,
+     * so a degraded link legitimately widens the observed gaps),
+     * while the next probe still departs on the schedule.
      */
-    void recordProbe(std::size_t r, double now_us, bool alive);
+    void recordProbe(std::size_t r, double now_us, bool alive,
+                     double rtt_us = 0.0);
 
     /** Stop probing replica @p r (confirmed dead; its slot rejoins
      *  via reset()). */

@@ -18,7 +18,9 @@
 
 namespace {
 
+using gpusim::allGatherCost;
 using gpusim::allReduceCost;
+using gpusim::broadcastCost;
 using gpusim::ceilDiv;
 using gpusim::Collective;
 using gpusim::defaultLink;
@@ -210,6 +212,96 @@ TEST(AllReduceCost, MatchesClosedFormExactly)
                   (ring.value().stages + chunks - 1) *
                       ring.value().slot_ns);
     }
+}
+
+/**
+ * The broadcast and all-gather schedules (the fleet's parameter
+ * seeding and sharded-state reassembly) must match their closed
+ * forms exactly too, and each must price as the matching half of the
+ * corresponding all-reduce: tree broadcast = the tree's fan-out half,
+ * ring all-gather = the ring's second (R-1)-stage half.
+ */
+TEST(CollectiveCostExtras, BroadcastAndAllGatherMatchClosedForms)
+{
+    common::Rng rng{20260808};
+    for (int trial = 0; trial < 200; ++trial)
+    {
+        LinkSpec spec;
+        spec.type = static_cast<LinkType>(rng.nextInt(0, 2));
+        spec.latency_ns =
+            static_cast<std::uint64_t>(rng.nextInt(0, 20'000));
+        spec.bytes_per_us =
+            static_cast<std::uint64_t>(rng.nextInt(1, 200'000));
+        const std::size_t ranks =
+            static_cast<std::size_t>(rng.nextInt(1, 8));
+        const std::size_t chunks =
+            static_cast<std::size_t>(rng.nextInt(1, 16));
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(rng.nextInt(0, 1 << 24));
+        const Topology topo = Topology::uniform(8, spec);
+
+        auto bc = broadcastCost(topo, bytes, ranks, chunks);
+        ASSERT_TRUE(bc.ok()) << bc.status().toString();
+        EXPECT_EQ(bc.value().total_ns,
+                  treeBroadcastNs(spec, bytes, ranks, chunks))
+            << "ranks=" << ranks << " chunks=" << chunks
+            << " bytes=" << bytes;
+
+        auto ag = allGatherCost(topo, bytes, ranks, chunks);
+        ASSERT_TRUE(ag.ok()) << ag.status().toString();
+        EXPECT_EQ(ag.value().total_ns,
+                  ringAllGatherNs(spec, bytes, ranks, chunks))
+            << "ranks=" << ranks << " chunks=" << chunks
+            << " bytes=" << bytes;
+
+        // Pipelined-makespan identity for both schedules.
+        EXPECT_EQ(bc.value().total_ns,
+                  (bc.value().stages + chunks - 1) *
+                      bc.value().slot_ns);
+        EXPECT_EQ(ag.value().total_ns,
+                  (ag.value().stages + chunks - 1) *
+                      ag.value().slot_ns);
+
+        if (ranks < 2) continue;
+        // Half-of-all-reduce structure: the tree all-reduce is
+        // reduce + broadcast (equal stage counts), the ring
+        // all-gather is the ring all-reduce's second half.
+        auto tree = allReduceCost(topo, Collective::TreeAllReduce,
+                                  bytes, ranks, chunks);
+        ASSERT_TRUE(tree.ok());
+        EXPECT_EQ(tree.value().stages, 2 * bc.value().stages);
+        auto ring = allReduceCost(topo, Collective::RingAllReduce,
+                                  bytes, ranks, chunks);
+        ASSERT_TRUE(ring.ok());
+        EXPECT_EQ(ring.value().stages, 2 * ag.value().stages);
+    }
+}
+
+TEST(CollectiveCostExtras, TrainWrappersDelegateExactly)
+{
+    // train::paramBroadcastCost / shardedParamAllGatherCost are the
+    // serving layer's entry points; they must price identically to
+    // the gpusim primitives they wrap.
+    const Topology topo =
+        Topology::uniform(4, defaultLink(LinkType::NVLink));
+    const std::uint64_t bytes = 3u << 20;
+    auto bc = train::paramBroadcastCost(topo, bytes, 4, 8);
+    auto raw_bc = broadcastCost(topo, bytes, 4, 8);
+    ASSERT_TRUE(bc.ok() && raw_bc.ok());
+    EXPECT_EQ(bc.value().total_ns, raw_bc.value().total_ns);
+    EXPECT_EQ(bc.value().bytes_on_wire,
+              raw_bc.value().bytes_on_wire);
+
+    auto ag = train::shardedParamAllGatherCost(topo, bytes, 4, 8);
+    auto raw_ag = allGatherCost(topo, bytes, 4, 8);
+    ASSERT_TRUE(ag.ok() && raw_ag.ok());
+    EXPECT_EQ(ag.value().total_ns, raw_ag.value().total_ns);
+
+    // Degenerate single-rank broadcast is free (the single-node
+    // fleet path relies on this).
+    auto solo = train::paramBroadcastCost(topo, bytes, 1, 8);
+    ASSERT_TRUE(solo.ok());
+    EXPECT_EQ(solo.value().total_ns, 0u);
 }
 
 /** Cost decreases (or holds) as chunked pipelining deepens until the

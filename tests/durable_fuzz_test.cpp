@@ -310,15 +310,15 @@ TEST(FleetStateFuzz, PromotedRegressions)
     {
         // Completed count inflated to 2^64-1: the entry cap must
         // reject it before the reserve. Offset: magic+version (8) +
-        // wal_first_seq (8) + now (8) + 23 counters (184).
+        // wal_first_seq (8) + now (8) + 24 counters (192).
         auto m = good;
-        for (std::size_t i = 208; i < 216; ++i)
+        for (std::size_t i = 216; i < 224; ++i)
             m[i] = 0xFF;
         expectNames(m, "completed count");
     }
     {
         auto m = good;
-        m[216] ^= 0x01; // first completed entry's id
+        m[224] ^= 0x01; // first completed entry's id
         expectNames(m, "digest");
     }
     expectMalformedState({}, "empty image");

@@ -526,6 +526,91 @@ TEST(FleetFailover, HealthMonitorSchedulesSeededJitteredProbes)
 }
 
 /**
+ * Event tie order at the exact microsecond a link-down window opens
+ * AND a device wedges (the same instant, by construction): the probe
+ * consults the link at its send instant *before* it can consult the
+ * device, so the partition masks the wedge. During the window the
+ * replica is merely silent (suspicion, no death); the wedge is
+ * confirmed -- and the replica declared dead -- only by the first
+ * probe (or retransmitted completion) through the healed link. The
+ * trace proves it: every "replica_dead" instant lands at or after
+ * the heal instant.
+ */
+TEST(FleetFailover, LinkDownMasksWedgeAtSameInstant)
+{
+    Replica sizing(1);
+    const double req_us = probeReqUs(sizing);
+
+    Replica r0(1), r1(1);
+    const double start = req_us;
+    const double fault_at = start + 6.0 * req_us;
+    const double heal_at = fault_at + 6.0 * req_us;
+
+    gpusim::FaultPlan wedge_plan;
+    wedge_plan.wedge_at_us = fault_at;
+    r1.device.installFaults(wedge_plan);
+
+    obs::MetricsRegistry mx;
+    obs::Tracer tracer;
+    serve::FleetConfig cfg;
+    cfg.admission.queue_capacity = 24;
+    cfg.admission.shrink_watermark = 8;
+    cfg.admission.shed_watermark = 12;
+    cfg.max_failovers_high = 2;
+    cfg.max_failovers_low = 1;
+    cfg.standby_opts = fleetOpts(1);
+    cfg.health.probe_interval_us = 2.0 * req_us;
+    auto topo = gpusim::Topology::parse(
+        "devices 3\nlink 0 1 nvlink\nlink 0 2 nvlink\n");
+    ASSERT_TRUE(topo.ok()) << topo.status().toString();
+    cfg.net.topology = std::move(topo).value();
+    cfg.net.controller_node = 0;
+    gpusim::LinkFault cut;
+    cut.a = 0;
+    cut.b = 2; // r1's node: the wedged replica partitions too
+    cut.down_at_us = fault_at; // the tie: same microsecond as wedge
+    cut.down_for_us = heal_at - fault_at;
+    cfg.net.faults.link_faults.push_back(cut);
+
+    serve::FleetReplica s0 = r0.slot("r0");
+    s0.node = 1;
+    serve::FleetReplica s1 = r1.slot("r1");
+    s1.node = 2;
+    serve::Fleet fleet({s0, s1}, cfg, &tracer, &mx);
+
+    serve::ArrivalConfig ac;
+    ac.rate_per_sec = 1.5 * 2.0e6 / req_us;
+    ac.count = 60;
+    ac.deadline_slack_us = 120.0 * req_us;
+    ac.low_deadline_slack_us = 130.0 * req_us;
+    ac.low_fraction = 0.25;
+    ac.seed = 5;
+    fleet.run(serve::generateOpenLoopArrivals(
+        ac, start, r0.bm->datasetSize()));
+
+    const serve::FleetCounters& c = fleet.counters();
+    EXPECT_TRUE(c.reconciled());
+    EXPECT_EQ(c.completed_high, c.admitted_high);
+    EXPECT_EQ(c.timed_out_high, 0u);
+    EXPECT_EQ(c.failed_high, 0u);
+    // The wedge was confirmed -- but only after the heal.
+    EXPECT_EQ(c.device_losses, 1u);
+    // The partition showed up as silence first: blocked probe sends,
+    // not an immediate death.
+    EXPECT_GT(fleet.netStats().sends_blocked, 0u);
+    bool saw_dead = false;
+    for (const obs::TraceEvent& e : tracer.canonical()) {
+        if (e.lane != obs::kLaneFleet ||
+            std::string(e.name) != "replica_dead")
+            continue;
+        saw_dead = true;
+        EXPECT_GE(e.ts_us, heal_at)
+            << "the wedge must stay masked until the link heals";
+    }
+    EXPECT_TRUE(saw_dead);
+}
+
+/**
  * Overload AND faults at 8 host threads, with the metrics registry
  * attached: every FleetCounters field must agree exactly with its
  * "fleet.<field>" registry counter, and the dispatch identity must
@@ -593,6 +678,7 @@ TEST(FleetSoak, OverloadAndFaultsReconcileWithMetrics)
         {"fleet.routed", c.routed},
         {"fleet.failed_over", c.failed_over},
         {"fleet.hedge_cancelled", c.hedge_cancelled},
+        {"fleet.fenced", c.fenced},
         {"fleet.lost", c.lost},
         {"fleet.hedges", c.hedges},
         {"fleet.probes", c.probes},

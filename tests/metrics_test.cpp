@@ -28,6 +28,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/arrival.hpp"
+#include "serve/net.hpp"
 #include "serve/server.hpp"
 #include "train/harness.hpp"
 #include "vpps/handle.hpp"
@@ -340,6 +341,110 @@ TEST(MetricsReconcile, CheckpointedRecoveryCountsInRegistry)
 /** The accounting identities under a hostile device: transient
  *  faults, 8 host threads, serving traffic. Suite name carries the
  *  ctest soak label (see tests/CMakeLists.txt). */
+/**
+ * Every NetStats field mirrors into the registry under "net.<field>"
+ * one-for-one (the net-lane analog of the fleet.* mirror). The model
+ * is driven through every code path that touches a counter --
+ * delivered/lost/blocked sends, retransmit ladders, chunked ships
+ * with resume, an abandoned ship, the broadcast, and the fleet-side
+ * note hooks -- then the registry is reconciled field for field. A
+ * NetStats field without a registry mirror (or vice versa) fails
+ * here.
+ */
+TEST(MetricsReconcile, NetStatsMirrorFieldForField)
+{
+    obs::MetricsRegistry mx;
+    obs::Tracer tracer;
+    serve::NetConfig nc;
+    auto topo = gpusim::Topology::parse(
+        "devices 3\nlink 0 1 nvlink\nlink 0 2 nic\n");
+    ASSERT_TRUE(topo.ok());
+    nc.topology = std::move(topo).value();
+    // Lossy link 0-2 plus a down window on 0-1: exercises loss,
+    // retransmits, blocked sends, and ship retries deterministically.
+    gpusim::LinkFault lossy;
+    lossy.a = 0;
+    lossy.b = 2;
+    lossy.loss_rate = 0.4;
+    nc.faults.link_faults.push_back(lossy);
+    gpusim::LinkFault window;
+    window.a = 0;
+    window.b = 1;
+    window.down_at_us = 100.0;
+    window.down_for_us = 50.0;
+    nc.faults.link_faults.push_back(window);
+    nc.faults.link_seed = 7;
+    nc.ship_chunk_bytes = 1024;
+    serve::NetworkModel net(nc, &tracer, &mx);
+    ASSERT_TRUE(net.enabled());
+
+    std::uint64_t failed_elsewhere = 0;
+    {
+        // Permanent cut on a throwaway model sharing the registry:
+        // the abandoned-ship path must book ships_failed.
+        serve::NetConfig cut = nc;
+        cut.faults.link_faults.clear();
+        gpusim::LinkFault dead;
+        dead.a = 0;
+        dead.b = 1;
+        dead.down_at_us = 0.0;
+        dead.down_for_us = -1.0; // never heals
+        cut.faults.link_faults.push_back(dead);
+        serve::NetworkModel net2(cut, &tracer, &mx);
+        EXPECT_FALSE(net2.ship(0, 1, 2048, 5.0).ok);
+        failed_elsewhere = net2.stats().ships_failed;
+        EXPECT_EQ(mx.counterValue("net.ships_failed"),
+                  failed_elsewhere);
+    }
+
+    for (int i = 0; i < 40; ++i)
+        net.send(0, 2, 64, 10.0 + i, "probe");     // loss draws
+    net.send(0, 1, 512, 120.0, "dispatch");        // inside window
+    net.send(0, 1, 512, 200.0, "dispatch");        // after heal
+    for (int i = 0; i < 10; ++i)
+        net.reliableDeliveryAtUs(0, 2, 128, 300.0 + i);
+    net.ship(0, 2, 64 * 1024, 400.0);              // chunk retries
+    net.ship(0, 1, 4096, 120.0);                   // waits out window
+    ASSERT_TRUE(net.paramBroadcastUs(1 << 20, 0.0).ok());
+    net.noteProbeReply(1, 3.5, 500.0);
+    net.noteTimeout(42, 510.0);
+    net.noteFence(42, 1, 520.0);
+    net.noteFenceDrop(42, 1, 530.0);
+    net.noteUnreachableSkip();
+
+    const serve::NetStats& s = net.stats();
+    EXPECT_GT(s.messages_lost, 0u) << "loss never fired";
+    EXPECT_GT(s.sends_blocked, 0u);
+    EXPECT_GT(s.retransmits, 0u);
+    EXPECT_GT(s.ship_retries, 0u);
+    const std::pair<const char*, std::uint64_t> fields[] = {
+        {"net.messages", s.messages},
+        {"net.messages_lost", s.messages_lost},
+        {"net.sends_blocked", s.sends_blocked},
+        {"net.retransmits", s.retransmits},
+        {"net.probe_replies", s.probe_replies},
+        {"net.unreachable_skips", s.unreachable_skips},
+        {"net.timeouts", s.timeouts},
+        {"net.fences", s.fences},
+        {"net.fence_drops", s.fence_drops},
+        {"net.ship_chunks", s.ship_chunks},
+        {"net.ship_retries", s.ship_retries},
+        {"net.ship_bytes", s.ship_bytes},
+        {"net.ship_us_total", s.ship_us_total},
+        {"net.ships_failed", s.ships_failed + failed_elsewhere},
+        {"net.param_broadcasts", s.param_broadcasts},
+        {"net.bytes_on_wire", s.bytes_on_wire},
+    };
+    for (const auto& [name, value] : fields)
+        EXPECT_EQ(mx.counterValue(name), value)
+            << name << " disagrees with NetStats";
+    // One RTT observation per probe reply, one duration per
+    // completed ship.
+    EXPECT_EQ(mx.histogram("net.probe_rtt_us").count(),
+              s.probe_replies);
+    EXPECT_EQ(mx.histogram("net.ship_us").count(), 2u);
+}
+
 TEST(MetricsSoak, ServingRegistryReconcilesUnderFaults)
 {
     MetricsRig rig;

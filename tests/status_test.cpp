@@ -82,6 +82,22 @@ TEST(Status, ErrorCodeNamesAreExhaustiveAndDistinct)
         << "out-of-range codes must hit the default";
 }
 
+TEST(Status, NetworkErrorCodeNamesAreWireStable)
+{
+    // The network fault domain's codes render under these exact
+    // names in fault logs and bench JSON; renames are a breaking
+    // change for downstream parsers, so pin them.
+    EXPECT_EQ(std::string(
+                  common::errorCodeName(ErrorCode::LinkDown)),
+              "link_down");
+    EXPECT_EQ(std::string(
+                  common::errorCodeName(ErrorCode::Partitioned)),
+              "partitioned");
+    EXPECT_EQ(std::string(
+                  common::errorCodeName(ErrorCode::FencedEpoch)),
+              "fenced_epoch");
+}
+
 TEST(Result, HoldsValueOrStatus)
 {
     Result<int> good(41);

@@ -5,8 +5,9 @@
  * wrote, so Topology::parse must reject every malformed input with a
  * structured InvalidArgument -- malformed link specs, out-of-range
  * ids, self-links, zero-bandwidth links, cyclic or broken routes,
- * duplicate directives, integer overflow -- and never panic or run
- * away on arbitrary bytes. Mirrors the durable_fuzz_test pattern:
+ * duplicate directives, integer overflow, bad rack assignments,
+ * inconsistent link fault schedules -- and never panic or run away
+ * on arbitrary bytes. Mirrors the durable_fuzz_test pattern:
  * promoted regressions first, then seeded random fuzzing over a
  * grammar-aware token soup.
  */
@@ -111,8 +112,95 @@ TEST(TopologyFuzz, PromotedRegressions)
         "route 0 2 via 1\nroute 2 0 via 1\n",
         "duplicate route (either direction)");
 
+    // Malformed rack assignments.
+    expectRejected("rack 1 0\n", "rack before devices");
+    expectRejected("devices 2\nrack 1\n", "rack without members");
+    expectRejected("devices 2\nrack x 0\n",
+                   "non-numeric rack id");
+    expectRejected("devices 2\nrack 1 z\n",
+                   "non-numeric rack member");
+    expectRejected("devices 2\nrack 1 5\n",
+                   "rack member out of range");
+    expectRejected("devices 2\nrack 1 0\nrack 2 0\n",
+                   "device assigned to two racks");
+    expectRejected("devices 2\nrack 99999999999 0\n",
+                   "absurd rack id");
+
+    // Malformed link fault schedules.
+    expectRejected("linkfault 0 1 down_at_us=5\n",
+                   "linkfault before devices");
+    expectRejected("devices 2\nlink 0 1 nvlink\nlinkfault 0 1\n",
+                   "linkfault without options");
+    expectRejected("devices 2\nlinkfault 0 1 down_at_us=5\n",
+                   "linkfault on missing link");
+    expectRejected(
+        "devices 2\nlink 0 1 nvlink\nlinkfault 0 0 down_at_us=5\n",
+        "linkfault self-pair");
+    expectRejected(
+        "devices 2\nlink 0 1 nvlink\nlinkfault 0 9 down_at_us=5\n",
+        "linkfault endpoint out of range");
+    expectRejected(
+        "devices 2\nlink 0 1 nvlink\nlinkfault a b down_at_us=5\n",
+        "linkfault non-numeric endpoints");
+    expectRejected(
+        "devices 2\nlink 0 1 nvlink\nlinkfault 0 1 down_at_us\n",
+        "linkfault option without =");
+    expectRejected(
+        "devices 2\nlink 0 1 nvlink\nlinkfault 0 1 down_at_us=x\n",
+        "linkfault non-numeric value");
+    expectRejected(
+        "devices 2\nlink 0 1 nvlink\nlinkfault 0 1 color=3\n",
+        "unknown linkfault option");
+    expectRejected(
+        "devices 2\nlink 0 1 nvlink\nlinkfault 0 1 down_for_us=5\n",
+        "down_for_us without down_at_us");
+    expectRejected("devices 2\nlink 0 1 nvlink\n"
+                   "linkfault 0 1 degrade_for_us=5\n",
+                   "degrade window without degrade_at_us");
+    expectRejected("devices 2\nlink 0 1 nvlink\n"
+                   "linkfault 0 1 degrade_at_us=5\n",
+                   "degrade_at_us without a factor >= 2");
+    expectRejected("devices 2\nlink 0 1 nvlink\n"
+                   "linkfault 0 1 degrade_at_us=5 degrade_factor=1\n",
+                   "degrade_factor below 2");
+    expectRejected("devices 2\nlink 0 1 nvlink\n"
+                   "linkfault 0 1 loss_ppm=0\n",
+                   "zero loss_ppm (would not round-trip)");
+    expectRejected("devices 2\nlink 0 1 nvlink\n"
+                   "linkfault 0 1 loss_ppm=1000001\n",
+                   "loss_ppm above one million");
+    expectRejected(
+        "devices 2\nlink 0 1 nvlink\n"
+        "linkfault 0 1 down_at_us=5 down_at_us=9\n",
+        "duplicate linkfault option");
+
     // Unknown directives.
     expectRejected("devices 2\nnode 0\n", "unknown directive");
+}
+
+TEST(TopologyFuzz, ValidRackAndLinkFaultDirectivesParse)
+{
+    auto ok = Topology::parse(
+        "devices 4\n"
+        "link 0 1 nvlink\n"
+        "link 1 2 pcie\n"
+        "rack 1 0 1\n"
+        "rack 2 2 3\n"
+        "linkfault 0 1 down_at_us=100 down_for_us=50\n"
+        "linkfault 1 2 degrade_at_us=10 degrade_for_us=20 "
+        "degrade_factor=4 loss_ppm=2500\n");
+    ASSERT_TRUE(ok.ok()) << ok.status().toString();
+    const Topology& topo = ok.value();
+    EXPECT_EQ(topo.rackOf(0), 1u);
+    EXPECT_TRUE(topo.sameRack(0, 1));
+    EXPECT_FALSE(topo.sameRack(1, 2));
+    ASSERT_EQ(topo.linkFaults().size(), 2u);
+    EXPECT_DOUBLE_EQ(topo.linkFaults()[0].down_at_us, 100.0);
+    EXPECT_DOUBLE_EQ(topo.linkFaults()[1].loss_rate, 2500e-6);
+    // describe() must round-trip both directives bitwise.
+    auto again = Topology::parse(topo.describe());
+    ASSERT_TRUE(again.ok()) << again.status().toString();
+    EXPECT_EQ(again.value().describe(), topo.describe());
 }
 
 TEST(TopologyFuzz, ValidConfigsStillParse)
@@ -143,7 +231,11 @@ TEST(TopologyFuzz, SeededRandomFuzzNeverCrashes)
 {
     common::Rng rng{0xD15717EE};
     const char* types[] = {"nvlink", "pcie", "nic", "warp", ""};
-    const char* keys[] = {"latency_ns", "bytes_per_us", "color", ""};
+    const char* keys[] = {"latency_ns",    "bytes_per_us",
+                          "color",         "down_at_us",
+                          "down_for_us",   "degrade_at_us",
+                          "degrade_for_us", "degrade_factor",
+                          "loss_ppm",      ""};
 
     auto token = [&]() -> std::string {
         switch (rng.nextInt(0, 5))
@@ -152,7 +244,7 @@ TEST(TopologyFuzz, SeededRandomFuzzNeverCrashes)
             case 1: return std::to_string(rng.nextInt(-2, 600));
             case 2: return types[rng.nextBelow(5)];
             case 3:
-                return std::string(keys[rng.nextBelow(4)]) + "=" +
+                return std::string(keys[rng.nextBelow(10)]) + "=" +
                        std::to_string(rng.nextInt(-1, 1 << 20));
             case 4: return "via";
             default: return "18446744073709551616";
@@ -169,11 +261,13 @@ TEST(TopologyFuzz, SeededRandomFuzzNeverCrashes)
         const int lines = rng.nextInt(0, 8);
         for (int l = 0; l < lines; ++l)
         {
-            switch (rng.nextInt(0, 3))
+            switch (rng.nextInt(0, 5))
             {
                 case 0: text += "link"; break;
                 case 1: text += "route"; break;
                 case 2: text += "devices"; break;
+                case 3: text += "rack"; break;
+                case 4: text += "linkfault"; break;
                 default: text += token(); break;
             }
             const int toks = rng.nextInt(0, 6);
@@ -192,6 +286,17 @@ TEST(TopologyFuzz, SeededRandomFuzzNeverCrashes)
         ++accepted;
         const Topology& topo = parsed.value();
         ASSERT_GE(topo.numDevices(), 1u) << text;
+        for (const gpusim::LinkFault& f : topo.linkFaults())
+        {
+            // Accepted schedules must satisfy their own invariants:
+            // real endpoints on a real link, loss in (0, 1], degrade
+            // factors that actually divide bandwidth.
+            EXPECT_NE(topo.link(f.a, f.b), nullptr) << text;
+            EXPECT_GE(f.loss_rate, 0.0) << text;
+            EXPECT_LE(f.loss_rate, 1.0) << text;
+            if (f.degrade_at_us >= 0.0)
+                EXPECT_GE(f.degrade_factor, 2u) << text;
+        }
         for (std::size_t a = 0; a < topo.numDevices(); ++a)
             for (std::size_t b = 0; b < topo.numDevices(); ++b)
                 if (const gpusim::LinkSpec* link = topo.link(a, b))

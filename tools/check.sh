@@ -20,15 +20,19 @@
 # transient fault rate) and the fleet-failover soak (a wedged replica
 # AND a 10% transient rate on a survivor): both benches exit nonzero
 # unless the server survives with fully reconciled request accounting.
-# It closes with a crash-point explorer smoke: 8 host-crash boundaries
-# swept under ASan, each recovering the durable fleet from simulated
-# stable storage (DESIGN.md section 4.10).
+# It continues with a crash-point explorer smoke (8 host-crash
+# boundaries swept under ASan, each recovering the durable fleet from
+# simulated stable storage, DESIGN.md section 4.10) and closes with
+# the net-fault soak: a mid-trace link partition layered with 10%
+# seeded message loss, run twice -- the runs must agree
+# field-for-field and lose no admitted High request (section 4.12).
 #
 # A fourth pass rebuilds with gcov instrumentation (-DVPPS_COVERAGE)
-# and gates line coverage of the observability layer (src/obs): the
-# tracer, metrics registry, and exporters must stay >= 90% covered by
-# the trace/metrics suites. Uses gcovr when available, else falls
-# back to parsing gcov itself.
+# and gates line coverage of the observability layer (src/obs), the
+# topology/collective layer (src/gpusim/topology*), and the fleet
+# network layer (src/serve/net*): each must stay >= 90% covered by
+# its suites. Uses gcovr when available, else falls back to parsing
+# gcov itself.
 #
 # Usage: tools/check.sh [--tier1] [build-dir]
 #        (default build-dir: build-tsan; the ASan pass uses
@@ -62,6 +66,13 @@ VPPS_HOST_THREADS=8 ctest --test-dir "$BUILD_DIR" \
 echo "== dist-training smoke (TSan build, 8 host threads) =="
 "$BUILD_DIR"/bench/dist_training --smoke --threads 8
 
+# Partition-tolerance smoke under TSan: the link-down sweep, the
+# mid-trace partition episode, and both promotion ships exercise the
+# networked fleet event loop with 8 interpreter threads (the bench
+# exits nonzero on any lost High admit or bitwise divergence).
+echo "== partition-tolerance smoke (TSan build, 8 host threads) =="
+"$BUILD_DIR"/bench/partition_tolerance --smoke --threads 8
+
 if [ "$TIER1_ONLY" = 1 ]; then
     echo "== --tier1: quick mode done, skipping soak/ASan/coverage =="
     exit 0
@@ -88,27 +99,34 @@ echo "== fleet-failover soak (device loss + fault rate 0.10) =="
 echo "== crash-point explorer smoke (8 boundaries under ASan) =="
 "$ASAN_DIR"/tools/crash_explore --points 8
 
-echo "== coverage gate (src/obs and src/gpusim/topology >= 90%) =="
+echo "== net-fault soak (mid-trace partition + 10% seeded loss) =="
+"$ASAN_DIR"/bench/partition_tolerance --faults
+
+echo "== coverage gate (src/obs, src/gpusim/topology, src/serve/net >= 90%) =="
 cmake -B "$COV_DIR" -S . -DVPPS_COVERAGE=ON \
       -DCMAKE_BUILD_TYPE=Debug
 cmake --build "$COV_DIR" -j"$(nproc)" --target vpps_tests
 ctest --test-dir "$COV_DIR" --output-on-failure \
-      -R 'TraceUnit|GoldenTrace|MetricsUnit|MetricsReconcile|MetricsSoak|Topology|AllReduceCost|CollectiveEquivalence|TopologyFuzz|DistDeterminism'
+      -R 'TraceUnit|GoldenTrace|MetricsUnit|MetricsReconcile|MetricsSoak|Topology|AllReduceCost|CollectiveEquivalence|CollectiveCostExtras|TopologyFuzz|DistDeterminism|PartitionTolerance|GoldenNetTrace|FleetFailover'
 if command -v gcovr >/dev/null 2>&1; then
     gcovr --root . --filter 'src/obs/' --print-summary \
           --fail-under-line 90 "$COV_DIR"
     gcovr --root . --filter 'src/gpusim/topology' --print-summary \
           --fail-under-line 90 "$COV_DIR"
+    gcovr --root . --filter 'src/serve/net' --print-summary \
+          --fail-under-line 90 "$COV_DIR"
 else
     # CMake names the data files <src>.cpp.gcda, which gcov's -o
     # lookup does not resolve; hand it the .gcda files directly.
     # One gated subtree per awk pass.
-    for subtree in obs gpusim; do
+    for subtree in obs gpusim serve; do
         case "$subtree" in
             obs) match="src/obs/"
                  files="$COV_DIR/src/CMakeFiles/vpps_lib.dir/obs/*.cpp.gcda" ;;
             gpusim) match="src/gpusim/topology"
                  files="$COV_DIR/src/CMakeFiles/vpps_lib.dir/gpusim/topology*.cpp.gcda" ;;
+            serve) match="src/serve/net"
+                 files="$COV_DIR/src/CMakeFiles/vpps_lib.dir/serve/net*.cpp.gcda" ;;
         esac
         gcov -n $files | awk -v match_path="$match" '
         /^File / { keep = index($0, match_path) > 0 }
